@@ -1,0 +1,84 @@
+// Benchmarks regenerating the experiment suite: one benchmark per
+// experiment of DESIGN.md §5 (the paper has no numbered tables/figures of
+// its own, so the suite covers its claimed bounds C1–C10). Each benchmark
+// executes the full-size sweep once per iteration and logs the resulting
+// table; EXPERIMENTS.md records representative output.
+//
+// Run with: go test -bench=. -benchmem
+package mcnet
+
+import (
+	"testing"
+
+	"mcnet/internal/expt"
+	"mcnet/internal/stats"
+)
+
+// benchOptions keeps benchmark iterations affordable: one seed per point,
+// full-size sweeps.
+var benchOptions = expt.Options{Seeds: 1}
+
+func benchExperiment(b *testing.B, runner func(expt.Options) (*stats.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb, err := runner(benchOptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tb.Render())
+		}
+	}
+}
+
+func BenchmarkE1AggSpeedupVsChannels(b *testing.B) {
+	benchExperiment(b, expt.E1SpeedupVsChannels)
+}
+
+func BenchmarkE2AggVsN(b *testing.B) {
+	benchExperiment(b, expt.E2AggVsN)
+}
+
+func BenchmarkE3AggVsBaselines(b *testing.B) {
+	benchExperiment(b, expt.E3Baselines)
+}
+
+func BenchmarkE4Coloring(b *testing.B) {
+	benchExperiment(b, expt.E4Coloring)
+}
+
+func BenchmarkE5RulingSet(b *testing.B) {
+	benchExperiment(b, expt.E5RulingSet)
+}
+
+func BenchmarkE6CSA(b *testing.B) {
+	benchExperiment(b, expt.E6CSA)
+}
+
+func BenchmarkE7StructureBuild(b *testing.B) {
+	benchExperiment(b, expt.E7StructureBuild)
+}
+
+func BenchmarkE8ExponentialChain(b *testing.B) {
+	benchExperiment(b, expt.E8ExponentialChain)
+}
+
+func BenchmarkE9Backbone(b *testing.B) {
+	benchExperiment(b, expt.E9Backbone)
+}
+
+func BenchmarkE10DiameterTerm(b *testing.B) {
+	benchExperiment(b, expt.E10DiameterTerm)
+}
+
+func BenchmarkA1BackoffAblation(b *testing.B) {
+	benchExperiment(b, expt.A1BackoffAblation)
+}
+
+func BenchmarkA2TDMAAblation(b *testing.B) {
+	benchExperiment(b, expt.A2TDMAAblation)
+}
+
+func BenchmarkA3ChannelSpreadAblation(b *testing.B) {
+	benchExperiment(b, expt.A3ChannelSpreadAblation)
+}

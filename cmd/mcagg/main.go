@@ -1,0 +1,70 @@
+// Command mcagg runs the experiment suite of the multichannel-aggregation
+// reproduction and prints the resulting tables.
+//
+// Usage:
+//
+//	mcagg -exp e1            # one experiment (e1..e10)
+//	mcagg -exp all -seeds 5  # the full suite, 5 seeds per point
+//	mcagg -exp e3 -quick     # shrunken sweep for a fast look
+//	mcagg -exp e1 -csv       # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mcnet/internal/expt"
+	"mcnet/internal/stats"
+)
+
+func main() { run(os.Args[1:], os.Stdout, os.Exit) }
+
+func run(args []string, out io.Writer, exit func(int)) {
+	fs := flag.NewFlagSet("mcagg", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		exp   = fs.String("exp", "all", "experiment id: e1..e10 or all")
+		seeds = fs.Int("seeds", 3, "repetitions per sweep point")
+		quick = fs.Bool("quick", false, "shrink sweeps for a fast run")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		exit(2)
+		return
+	}
+	o := expt.Options{Seeds: *seeds, Quick: *quick}
+	var tables []*stats.Table
+	if strings.EqualFold(*exp, "all") {
+		ts, err := expt.All(o)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			exit(1)
+			return
+		}
+		tables = ts
+	} else {
+		runner, ok := expt.ByName(strings.ToLower(*exp))
+		if !ok {
+			fmt.Fprintf(out, "unknown experiment %q (use e1..e10 or all)\n", *exp)
+			exit(2)
+			return
+		}
+		tb, err := runner(o)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			exit(1)
+			return
+		}
+		tables = []*stats.Table{tb}
+	}
+	for _, tb := range tables {
+		if *csv {
+			fmt.Fprintln(out, tb.CSV())
+		} else {
+			fmt.Fprintln(out, tb.Render())
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	exitCode := -1
+	run([]string{"-exp", "e8", "-quick", "-seeds", "1"}, &buf, func(c int) { exitCode = c })
+	if exitCode != -1 {
+		t.Fatalf("exit code %d, output:\n%s", exitCode, buf.String())
+	}
+	if !strings.Contains(buf.String(), "E8") {
+		t.Errorf("missing table:\n%s", buf.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	run([]string{"-exp", "e8", "-quick", "-csv"}, &buf, func(int) {})
+	if !strings.Contains(buf.String(), "topology,slots") {
+		t.Errorf("missing CSV header:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	exitCode := -1
+	run([]string{"-exp", "e99"}, &buf, func(c int) { exitCode = c })
+	if exitCode != 2 {
+		t.Errorf("exit code %d, want 2", exitCode)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	exitCode := -1
+	run([]string{"-bogus"}, &buf, func(c int) { exitCode = c })
+	if exitCode != 2 {
+		t.Errorf("exit code %d, want 2", exitCode)
+	}
+}

@@ -1,0 +1,83 @@
+// Command mctopo generates the experiment topologies and reports their
+// communication-graph parameters (n, Δ, D, connectivity) under the default
+// SINR model, optionally dumping positions as CSV.
+//
+// Usage:
+//
+//	mctopo -kind crowd -n 128
+//	mctopo -kind corridor -n 80 -length 8
+//	mctopo -kind chain -n 24 -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mcnet/internal/expt"
+	"mcnet/internal/geo"
+	"mcnet/internal/graph"
+	"mcnet/internal/model"
+	"mcnet/internal/rng"
+	"mcnet/internal/topology"
+)
+
+func main() { run(os.Args[1:], os.Stdout, os.Exit) }
+
+func run(args []string, out io.Writer, exit func(int)) {
+	fs := flag.NewFlagSet("mctopo", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		kind   = fs.String("kind", "uniform", "uniform|crowd|hotspot|line|chain|corridor|ring")
+		n      = fs.Int("n", 128, "node count")
+		seed   = fs.Uint64("seed", 1, "generator seed")
+		degree = fs.Float64("degree", 12, "target average degree (uniform)")
+		length = fs.Int("length", 6, "corridor length in communication radii")
+		dump   = fs.Bool("dump", false, "print positions as CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		exit(2)
+		return
+	}
+	p := model.Default(1, max2(*n, 2))
+	rnd := rng.New(*seed)
+	var pos []geo.Point
+	switch *kind {
+	case "uniform":
+		pos = topology.UniformDegree(rnd, *n, p.REps(), *degree)
+	case "crowd":
+		pos = expt.Crowd(p, *n, *seed)
+	case "hotspot":
+		pos = topology.Hotspot(rnd, max2(*n/16, 1), 16, 4, 0.05)
+	case "line":
+		pos = topology.Line(*n, 0.5)
+	case "chain":
+		pos = topology.ExponentialChain(*n, 1)
+	case "corridor":
+		pos = topology.Corridor(rnd, *n, float64(*length)*p.REps(), 0.6*p.REps())
+	case "ring":
+		pos = topology.Ring(*n, float64(*n)*0.5/6.28)
+	default:
+		fmt.Fprintf(out, "unknown topology kind %q\n", *kind)
+		exit(2)
+		return
+	}
+	g := graph.Build(pos, p.REps())
+	fmt.Fprintf(out, "kind=%s n=%d R_eps=%.3f r_c=%.4f\n", *kind, len(pos), p.REps(), p.ClusterRadius())
+	fmt.Fprintf(out, "max_degree=%d avg_degree=%.2f connected=%v diameter~%d\n",
+		g.MaxDegree(), g.AvgDegree(), g.Connected(), g.DiameterApprox())
+	if *dump {
+		fmt.Fprintln(out, "x,y")
+		for _, q := range pos {
+			fmt.Fprintf(out, "%.6f,%.6f\n", q.X, q.Y)
+		}
+	}
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTopoKinds(t *testing.T) {
+	for _, kind := range []string{"uniform", "crowd", "hotspot", "line", "chain", "corridor", "ring"} {
+		var buf bytes.Buffer
+		exitCode := -1
+		run([]string{"-kind", kind, "-n", "32"}, &buf, func(c int) { exitCode = c })
+		if exitCode != -1 {
+			t.Errorf("%s: exit %d:\n%s", kind, exitCode, buf.String())
+			continue
+		}
+		if !strings.Contains(buf.String(), "max_degree=") {
+			t.Errorf("%s: missing stats:\n%s", kind, buf.String())
+		}
+	}
+}
+
+func TestTopoDump(t *testing.T) {
+	var buf bytes.Buffer
+	run([]string{"-kind", "line", "-n", "4", "-dump"}, &buf, func(int) {})
+	if !strings.Contains(buf.String(), "x,y") {
+		t.Error("missing CSV header")
+	}
+	if got := strings.Count(buf.String(), "\n"); got < 6 {
+		t.Errorf("expected ≥ 6 lines, got %d", got)
+	}
+}
+
+func TestTopoUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	exitCode := -1
+	run([]string{"-kind", "mystery"}, &buf, func(c int) { exitCode = c })
+	if exitCode != 2 {
+		t.Errorf("exit = %d, want 2", exitCode)
+	}
+}

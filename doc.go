@@ -1,0 +1,10 @@
+// Package mcnet is a from-scratch Go reproduction of "Leveraging Multiple
+// Channels in Ad Hoc Networks" (Halldórsson, Wang, Yu; PODC 2015): data
+// aggregation in O(D + Δ/F + log n log log n) rounds and node coloring with
+// O(Δ) colors on F channels under the SINR interference model.
+//
+// The root package holds the benchmark suite regenerating the evaluation
+// (one benchmark per experiment of DESIGN.md §5); the implementation lives
+// under internal/ — see README.md for the architecture and EXPERIMENTS.md
+// for measured results.
+package mcnet

@@ -1,0 +1,46 @@
+// Package agg defines the aggregate functions computed by the data
+// aggregation pipeline: associative, commutative folds over int64 values
+// (the paper's "compressible functions", Sec. 2).
+package agg
+
+// Op is an associative, commutative aggregate operator with identity.
+type Op struct {
+	// Name identifies the operator in reports.
+	Name string
+	// Identity is the neutral element: Combine(Identity, x) == x.
+	Identity int64
+	// Combine folds two partial aggregates.
+	Combine func(a, b int64) int64
+}
+
+// Standard operators.
+var (
+	Sum = Op{Name: "sum", Identity: 0, Combine: func(a, b int64) int64 { return a + b }}
+	Max = Op{Name: "max", Identity: minInt64, Combine: func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}}
+	Min = Op{Name: "min", Identity: maxInt64, Combine: func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}}
+)
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// Fold reduces values under the operator, returning the identity for an
+// empty slice.
+func (o Op) Fold(values []int64) int64 {
+	acc := o.Identity
+	for _, v := range values {
+		acc = o.Combine(acc, v)
+	}
+	return acc
+}

@@ -1,0 +1,62 @@
+package agg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFoldSum(t *testing.T) {
+	if got := Sum.Fold([]int64{1, 2, 3, -4}); got != 2 {
+		t.Errorf("sum = %d", got)
+	}
+	if got := Sum.Fold(nil); got != 0 {
+		t.Errorf("empty sum = %d", got)
+	}
+}
+
+func TestFoldMaxMin(t *testing.T) {
+	vals := []int64{3, -7, 12, 0}
+	if got := Max.Fold(vals); got != 12 {
+		t.Errorf("max = %d", got)
+	}
+	if got := Min.Fold(vals); got != -7 {
+		t.Errorf("min = %d", got)
+	}
+	if Max.Fold(nil) != Max.Identity || Min.Fold(nil) != Min.Identity {
+		t.Error("empty folds should give identities")
+	}
+}
+
+func TestIdentityLaw(t *testing.T) {
+	for _, op := range []Op{Sum, Max, Min} {
+		f := func(x int64) bool {
+			return op.Combine(op.Identity, x) == x && op.Combine(x, op.Identity) == x
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", op.Name, err)
+		}
+	}
+}
+
+func TestCommutativeAssociative(t *testing.T) {
+	for _, op := range []Op{Max, Min} {
+		f := func(a, b, c int64) bool {
+			return op.Combine(a, b) == op.Combine(b, a) &&
+				op.Combine(op.Combine(a, b), c) == op.Combine(a, op.Combine(b, c))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", op.Name, err)
+		}
+	}
+	// Sum is checked on a bounded domain to avoid overflow-related
+	// false negatives (int64 wraparound is still associative, but keep the
+	// test honest about its intent).
+	f := func(a, b, c int32) bool {
+		x, y, z := int64(a), int64(b), int64(c)
+		return Sum.Combine(x, y) == Sum.Combine(y, x) &&
+			Sum.Combine(Sum.Combine(x, y), z) == Sum.Combine(x, Sum.Combine(y, z))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("sum: %v", err)
+	}
+}

@@ -1,0 +1,62 @@
+package backbone
+
+import (
+	"mcnet/internal/model"
+	"mcnet/internal/ruling"
+	"mcnet/internal/sim"
+)
+
+// RulingColorConfig parameterizes the paper-faithful cluster coloring of
+// Sec. 5.1.2: φ sequential phases, each computing an (R_{ε/2}, R_ε)-ruling
+// set among the still-uncolored dominators; phase i's ruling set takes
+// color i.
+//
+// This variant is exact to the paper but only feasible when few dominators
+// share the clear-reception neighborhood at radius R_{ε/2} (see deviation
+// D7 in DESIGN.md); the pipeline default is the discovery+greedy variant in
+// color.go. It is exercised by tests and the ablation experiments.
+type RulingColorConfig struct {
+	// Phases is the paper's φ: an upper bound on dominators per
+	// R_{ε/2}-ball.
+	Phases int
+	// Ruling configures each phase's ruling-set execution (R is forced to
+	// R_{ε/2}).
+	Ruling ruling.Config
+}
+
+// DefaultRulingColorConfig returns a workable configuration for dominator
+// sets of at most `phases` mutual R_{ε/2}-neighbors.
+func DefaultRulingColorConfig(p model.Params, phases int) RulingColorConfig {
+	cfg := ruling.DefaultConfig(p.REpsHalf(), 0)
+	cfg.Mu = 4
+	return RulingColorConfig{Phases: phases, Ruling: cfg}
+}
+
+// SlotBudget returns the exact slot cost of RunColorRuling / IdleColorRuling.
+func (c RulingColorConfig) SlotBudget(p model.Params) int {
+	return c.Phases * c.Ruling.SlotBudget(p)
+}
+
+// IdleColorRuling consumes the stage budget without participating.
+func IdleColorRuling(ctx *sim.Ctx, cfg RulingColorConfig) {
+	ctx.IdleFor(cfg.SlotBudget(ctx.Params()))
+}
+
+// RunColorRuling executes the dominator side of the φ-phase coloring and
+// returns the node's color (its joining phase), or Phases if it stayed
+// uncolored through every phase (which violates the φ bound and should be
+// counted by the caller). It consumes exactly cfg.SlotBudget slots.
+func RunColorRuling(ctx *sim.Ctx, cfg RulingColorConfig) int {
+	color := cfg.Phases
+	for phase := 0; phase < cfg.Phases; phase++ {
+		if color < cfg.Phases {
+			// Already colored: sit the remaining phases out.
+			ruling.Idle(ctx, cfg.Ruling)
+			continue
+		}
+		if ruling.Run(ctx, cfg.Ruling).InSet {
+			color = phase
+		}
+	}
+	return color
+}

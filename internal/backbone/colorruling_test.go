@@ -1,0 +1,107 @@
+package backbone
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+)
+
+// runRulingColor executes the φ-phase coloring over the given dominator
+// positions (everyone participates).
+func runRulingColor(t *testing.T, pos []geo.Point, phases int, seed uint64) ([]int, model.Params) {
+	t.Helper()
+	p := model.Default(1, 64)
+	cfg := DefaultRulingColorConfig(p, phases)
+	e := sim.NewEngine(phy.NewField(p, pos), seed)
+	colors := make([]int, len(pos))
+	progs := make([]sim.Program, len(pos))
+	for i := range progs {
+		i := i
+		progs[i] = func(ctx *sim.Ctx) { colors[i] = RunColorRuling(ctx, cfg) }
+	}
+	if _, err := e.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	return colors, p
+}
+
+func TestRulingColoringSmallClique(t *testing.T) {
+	// A handful of dominators all within R_{ε/2} of each other: the
+	// φ-phase scheme must give them pairwise distinct colors, one per
+	// phase, in its feasible regime (few mutually conflicting dominators).
+	for seed := uint64(1); seed <= 3; seed++ {
+		rnd := rand.New(rand.NewSource(int64(seed)))
+		const k = 5
+		pos := make([]geo.Point, k)
+		for i := range pos {
+			pos[i] = geo.Point{X: rnd.Float64() * 0.3, Y: rnd.Float64() * 0.3}
+		}
+		colors, p := runRulingColor(t, pos, k+2, seed)
+		seen := map[int]bool{}
+		for i, c := range colors {
+			if c >= k+2 {
+				t.Errorf("seed %d: node %d uncolored", seed, i)
+				continue
+			}
+			if seen[c] && withinAny(pos, i, p.REpsHalf()) {
+				t.Errorf("seed %d: duplicate color %d in one conflict ball", seed, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func withinAny(pos []geo.Point, i int, r float64) bool {
+	for j := range pos {
+		if j != i && pos[i].Dist(pos[j]) <= r {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRulingColoringSeparatedGroups(t *testing.T) {
+	// Two dominator groups far apart: colors may repeat across groups but
+	// must be distinct within each (independence radius R_{ε/2} ≈ 0.85).
+	rnd := rand.New(rand.NewSource(9))
+	var pos []geo.Point
+	for g := 0; g < 2; g++ {
+		for i := 0; i < 4; i++ {
+			pos = append(pos, geo.Point{
+				X: float64(g)*20 + rnd.Float64()*0.4,
+				Y: rnd.Float64() * 0.4,
+			})
+		}
+	}
+	colors, p := runRulingColor(t, pos, 8, 3)
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			if pos[i].Dist(pos[j]) <= p.REpsHalf() && colors[i] == colors[j] && colors[i] < 8 {
+				t.Errorf("conflict between %d and %d (color %d)", i, j, colors[i])
+			}
+		}
+	}
+}
+
+func TestRulingColoringBudget(t *testing.T) {
+	p := model.Default(1, 64)
+	cfg := DefaultRulingColorConfig(p, 4)
+	pos := []geo.Point{{X: 0}, {X: 0.2}}
+	e := sim.NewEngine(phy.NewField(p, pos), 2)
+	after := make([]int, 2)
+	progs := []sim.Program{
+		func(ctx *sim.Ctx) { RunColorRuling(ctx, cfg); after[0] = ctx.Slot() },
+		func(ctx *sim.Ctx) { IdleColorRuling(ctx, cfg); after[1] = ctx.Slot() },
+	}
+	if _, err := e.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.SlotBudget(p)
+	if after[0] != want || after[1] != want {
+		t.Errorf("budgets %v, want %d", after, want)
+	}
+}

@@ -1,0 +1,175 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcnet/internal/agg"
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+	"mcnet/internal/topology"
+)
+
+func TestTDMAByIDExactSum(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		p := model.Default(1, 64)
+		pos := topology.UniformDegree(rnd, 50, p.REps(), 10)
+		values := make([]int64, 50)
+		var want int64
+		for i := range values {
+			values[i] = int64(i * 2)
+			want += values[i]
+		}
+		e := sim.NewEngine(phy.NewField(p, pos), uint64(seed))
+		out, err := TDMAByID(e, pos, values, agg.Sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Connected check: if the field is connected, everyone gets the
+		// exact sum.
+		allOk := true
+		for i, o := range out {
+			if !o.Done {
+				t.Errorf("seed %d: node %d not done", seed, i)
+				allOk = false
+			}
+		}
+		if !allOk {
+			continue
+		}
+		// When connected, node 0's BFS covers all: results must be exact.
+		connected := true
+		g := gridGraphConnected(pos, p.REps())
+		if g {
+			for i, o := range out {
+				if o.Value != want {
+					t.Errorf("seed %d: node %d value %d, want %d", seed, i, o.Value, want)
+				}
+			}
+		} else {
+			connected = false
+		}
+		_ = connected
+	}
+}
+
+func gridGraphConnected(pos []geo.Point, radius float64) bool {
+	grid := geo.NewGrid(pos, radius)
+	seen := make([]bool, len(pos))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		grid.ForNeighbors(pos[u], radius, func(v int) bool {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+			return true
+		})
+	}
+	return count == len(pos)
+}
+
+func TestTDMATakesTwoNSlots(t *testing.T) {
+	p := model.Default(1, 64)
+	pos := topology.Line(10, 0.5)
+	e := sim.NewEngine(phy.NewField(p, pos), 1)
+	var slots int
+	values := make([]int64, 10)
+	e.Trace = func(slot int, _ []phy.Tx, _ []phy.Rx, _ []phy.Reception) { slots = slot + 1 }
+	if _, err := TDMAByID(e, pos, values, agg.Sum); err != nil {
+		t.Fatal(err)
+	}
+	if slots != 20 {
+		t.Errorf("TDMA used %d slots, want 2n = 20", slots)
+	}
+}
+
+func TestSingleChannelTreeLineSum(t *testing.T) {
+	p := model.Default(1, 64)
+	pos := topology.Line(12, 0.5)
+	values := make([]int64, 12)
+	var want int64
+	for i := range values {
+		values[i] = int64(i + 1)
+		want += values[i]
+	}
+	e := sim.NewEngine(phy.NewField(p, pos), 3)
+	out, err := SingleChannelTree(e, values, agg.Sum, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	for _, o := range out {
+		if o.Done && o.Value == want {
+			done++
+		}
+	}
+	if done < 11 {
+		t.Errorf("only %d/12 nodes got the exact sum", done)
+	}
+}
+
+func TestSingleChannelTreeDenseMax(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	p := model.Default(1, 64)
+	pos := make([]geo.Point, 30)
+	for i := 1; i < 30; i++ {
+		pos[i] = geo.Point{X: rnd.Float64() * 0.3, Y: rnd.Float64() * 0.3}
+	}
+	values := make([]int64, 30)
+	var want int64 = -1 << 30
+	for i := range values {
+		values[i] = int64(rnd.Intn(1000))
+		if values[i] > want {
+			want = values[i]
+		}
+	}
+	e := sim.NewEngine(phy.NewField(p, pos), 7)
+	out, err := SingleChannelTree(e, values, agg.Max, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, o := range out {
+		if !o.Done || o.Value != want {
+			bad++
+		}
+	}
+	if bad > 1 {
+		t.Errorf("%d/30 nodes missed the max", bad)
+	}
+}
+
+func TestGreedyColorsProper(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	pos := topology.Uniform(rnd, 150, 3, 3)
+	radius := 0.7
+	colors := GreedyColors(pos, radius)
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			if pos[i].Dist(pos[j]) <= radius && colors[i] == colors[j] {
+				t.Fatalf("conflict between %d and %d", i, j)
+			}
+		}
+	}
+	if MaxColor(colors) < 1 {
+		t.Error("palette empty")
+	}
+}
+
+func TestMaxColor(t *testing.T) {
+	if got := MaxColor([]int{0, 3, 2}); got != 4 {
+		t.Errorf("MaxColor = %d, want 4", got)
+	}
+	if got := MaxColor(nil); got != 0 {
+		t.Errorf("MaxColor(nil) = %d, want 0", got)
+	}
+}

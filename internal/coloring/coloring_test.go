@@ -1,0 +1,199 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcnet/internal/core"
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+	"mcnet/internal/topology"
+)
+
+func runColoring(t *testing.T, pos []geo.Point, p model.Params, ccfg core.Config, seed uint64) ([]Result, *core.Plan) {
+	t.Helper()
+	pl := core.NewPlan(p, ccfg)
+	e := sim.NewEngine(phy.NewField(p, pos), seed)
+	res, err := Run(e, pl, DefaultConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, pl
+}
+
+func TestSingleClusterProperColoring(t *testing.T) {
+	// Dense single cluster: all nodes mutually adjacent in G, so all colors
+	// must be distinct.
+	const n = 36
+	p := model.Default(4, 64)
+	rc := p.ClusterRadius()
+	rnd := rand.New(rand.NewSource(1))
+	pos := make([]geo.Point, n)
+	for i := 1; i < n; i++ {
+		pos[i] = geo.Point{
+			X: (rnd.Float64()*2 - 1) * rc / 2,
+			Y: (rnd.Float64()*2 - 1) * rc / 2,
+		}
+	}
+	cfg := core.DefaultConfig(p)
+	cfg.DeltaHat = n
+	res, _ := runColoring(t, pos, p, cfg, 5)
+	conflicts, uncolored, palette := Validate(pos, p.REps(), res)
+	if conflicts != 0 {
+		t.Errorf("%d color conflicts", conflicts)
+	}
+	if uncolored != 0 {
+		t.Errorf("%d uncolored nodes", uncolored)
+	}
+	if palette > 0 && palette != n {
+		// All-mutually-adjacent: palette must equal n when everyone is
+		// colored.
+		t.Errorf("palette = %d, want %d", palette, n)
+	}
+}
+
+func TestPaletteLinearInDelta(t *testing.T) {
+	// The paper claims O(Δ) colors: the largest color index should be
+	// O(cluster size · φ).
+	const n = 30
+	p := model.Default(4, 64)
+	rc := p.ClusterRadius()
+	rnd := rand.New(rand.NewSource(3))
+	pos := make([]geo.Point, n)
+	for i := 1; i < n; i++ {
+		pos[i] = geo.Point{
+			X: (rnd.Float64()*2 - 1) * rc / 2,
+			Y: (rnd.Float64()*2 - 1) * rc / 2,
+		}
+	}
+	cfg := core.DefaultConfig(p)
+	cfg.DeltaHat = n
+	res, pl := runColoring(t, pos, p, cfg, 7)
+	maxColor := 0
+	for _, r := range res {
+		if r.Color > maxColor {
+			maxColor = r.Color
+		}
+	}
+	bound := (n + 2) * pl.Cfg.PhiMax
+	if maxColor > bound {
+		t.Errorf("max color %d exceeds O(Δ·φ) bound %d", maxColor, bound)
+	}
+}
+
+func TestSparseFieldColoring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sparse coloring integration is slow")
+	}
+	const n = 70
+	p := model.Default(4, 128)
+	rnd := rand.New(rand.NewSource(9))
+	pos := topology.UniformDegree(rnd, n, p.REps(), 12)
+	cfg := core.DefaultConfig(p)
+	cfg.DeltaHat = 32
+	cfg.PhiMax = 24
+	cfg.HopBound = 12
+	res, _ := runColoring(t, pos, p, cfg, 11)
+	conflicts, uncolored, _ := Validate(pos, p.REps(), res)
+	if conflicts != 0 {
+		t.Errorf("%d conflicts on sparse field", conflicts)
+	}
+	if uncolored > n/20 {
+		t.Errorf("%d/%d uncolored", uncolored, n)
+	}
+}
+
+func TestValidateCounts(t *testing.T) {
+	pos := []geo.Point{{X: 0}, {X: 0.1}, {X: 5}}
+	res := []Result{{Color: 3}, {Color: 3}, {Color: -1}}
+	conflicts, uncolored, palette := Validate(pos, 1, res)
+	if conflicts != 1 || uncolored != 1 || palette != 1 {
+		t.Errorf("got (%d, %d, %d), want (1, 1, 1)", conflicts, uncolored, palette)
+	}
+}
+
+func TestDominatorIndexPastTotal(t *testing.T) {
+	// In any cluster, the dominator's index must not collide with member
+	// indices (it takes one past the total).
+	const n = 20
+	p := model.Default(2, 64)
+	rc := p.ClusterRadius()
+	rnd := rand.New(rand.NewSource(13))
+	pos := make([]geo.Point, n)
+	for i := 1; i < n; i++ {
+		pos[i] = geo.Point{X: rnd.Float64() * rc / 2, Y: rnd.Float64() * rc / 2}
+	}
+	cfg := core.DefaultConfig(p)
+	cfg.DeltaHat = n
+	res, _ := runColoring(t, pos, p, cfg, 17)
+	for i, r := range res {
+		if !r.IsDominator || r.Index < 0 {
+			continue
+		}
+		for j, q := range res {
+			if j != i && q.Index == r.Index && q.ClusterColor == r.ClusterColor && q.Color >= 0 {
+				t.Errorf("dominator %d shares index %d with node %d", i, r.Index, j)
+			}
+		}
+	}
+}
+
+func TestLocalBroadcastServesAllLinks(t *testing.T) {
+	// Color a dense cluster, then run one TDMA cycle of local broadcast:
+	// every directed neighbor link must be served.
+	const n = 30
+	p := model.Default(4, 64)
+	rc := p.ClusterRadius()
+	rnd := rand.New(rand.NewSource(31))
+	pos := make([]geo.Point, n)
+	for i := 1; i < n; i++ {
+		pos[i] = geo.Point{
+			X: (rnd.Float64()*2 - 1) * rc / 2,
+			Y: (rnd.Float64()*2 - 1) * rc / 2,
+		}
+	}
+	cfg := core.DefaultConfig(p)
+	cfg.DeltaHat = n
+	cfg.PhiMax = 4
+	cfg.HopBound = 2
+	res, _ := runColoring(t, pos, p, cfg, 33)
+	if c, u, _ := Validate(pos, p.REps(), res); c != 0 || u != 0 {
+		t.Fatalf("coloring setup failed: %d conflicts, %d uncolored", c, u)
+	}
+
+	payloads := make([]int64, n)
+	for i := range payloads {
+		payloads[i] = int64(i*i + 7)
+	}
+	e := sim.NewEngine(phy.NewField(model.Default(1, n), pos), 35)
+	out, err := LocalBroadcast(e, res, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, missed := ValidateLocalBroadcast(e, p.REps(), payloads, out)
+	if missed != 0 {
+		t.Errorf("%d/%d directed links missed", missed, served+missed)
+	}
+	if served == 0 {
+		t.Error("no links served: broadcast inert")
+	}
+}
+
+func TestLocalBroadcastUncoloredListensOnly(t *testing.T) {
+	pos := []geo.Point{{X: 0}, {X: 0.1}}
+	p := model.Default(1, 64)
+	res := []Result{{Color: 0}, {Color: -1}}
+	e := sim.NewEngine(phy.NewField(p, pos), 1)
+	out, err := LocalBroadcast(e, res, []int64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := out[1].Heard[0]; !ok || got != 5 {
+		t.Errorf("uncolored node should still hear: %v", out[1].Heard)
+	}
+	if len(out[0].Heard) != 0 {
+		t.Errorf("node 0 heard %v while node 1 never transmits", out[0].Heard)
+	}
+}

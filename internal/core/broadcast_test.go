@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcnet/internal/agg"
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+	"mcnet/internal/topology"
+)
+
+func TestBroadcastSingleCluster(t *testing.T) {
+	const n = 32
+	p := model.Default(4, 64)
+	rc := p.ClusterRadius()
+	rnd := rand.New(rand.NewSource(3))
+	pos := make([]geo.Point, n)
+	for i := 1; i < n; i++ {
+		pos[i] = geo.Point{
+			X: (rnd.Float64()*2 - 1) * rc / 2,
+			Y: (rnd.Float64()*2 - 1) * rc / 2,
+		}
+	}
+	cfg := DefaultConfig(p)
+	cfg.DeltaHat = n
+	cfg.PhiMax = 4
+	cfg.HopBound = 2
+	pl := NewPlan(p, cfg)
+	e := sim.NewEngine(phy.NewField(p, pos), 5)
+	res, err := Broadcast(e, pl, 7, 424242, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !r.Ok || r.Value != 424242 {
+			t.Errorf("node %d: %+v", i, r)
+		}
+	}
+}
+
+func TestBroadcastMultiHop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hop broadcast integration is slow")
+	}
+	const n = 60
+	p := model.Default(2, 128)
+	rnd := rand.New(rand.NewSource(7))
+	pos := topology.UniformDegree(rnd, n, p.REps(), 14)
+	cfg := DefaultConfig(p)
+	cfg.DeltaHat = 24
+	cfg.PhiMax = 24
+	cfg.HopBound = 12
+	pl := NewPlan(p, cfg)
+	e := sim.NewEngine(phy.NewField(p, pos), 9)
+	res, err := Broadcast(e, pl, 0, 99, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	informed := 0
+	for _, r := range res {
+		if r.Ok {
+			informed++
+			if r.Value != 99 {
+				t.Errorf("wrong payload %d", r.Value)
+			}
+		}
+	}
+	if informed < n*9/10 {
+		t.Errorf("only %d/%d informed", informed, n)
+	}
+}
+
+func TestBroadcastFromDominator(t *testing.T) {
+	// Source that ends up a dominator: stage B1 degenerates gracefully.
+	p := model.Default(2, 64)
+	cfg := DefaultConfig(p)
+	pl := NewPlan(p, cfg)
+	e := sim.NewEngine(phy.NewField(p, []geo.Point{{X: 0}}), 1)
+	res, err := Broadcast(e, pl, 0, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Ok || res[0].Value != 7 {
+		t.Errorf("singleton broadcast: %+v", res[0])
+	}
+}
+
+func TestFailuresBeforeBuild(t *testing.T) {
+	// A fifth of the nodes never start; the rest must still build a
+	// structure and aggregate their own values without deadlock.
+	const n = 30
+	p := model.Default(4, 64)
+	rc := p.ClusterRadius()
+	rnd := rand.New(rand.NewSource(11))
+	pos := make([]geo.Point, n)
+	for i := 1; i < n; i++ {
+		pos[i] = geo.Point{
+			X: (rnd.Float64()*2 - 1) * rc / 2,
+			Y: (rnd.Float64()*2 - 1) * rc / 2,
+		}
+	}
+	values, _ := make([]int64, n), 0
+	var aliveSum int64
+	dead := map[int]int{}
+	for i := 0; i < n; i++ {
+		values[i] = int64(i + 1)
+		if i%5 == 0 {
+			dead[i] = StageBuild
+		} else {
+			aliveSum += values[i]
+		}
+	}
+	cfg := DefaultConfig(p)
+	cfg.DeltaHat = n
+	cfg.PhiMax = 4
+	cfg.HopBound = 2
+	pl := NewPlan(p, cfg)
+	e := sim.NewEngine(phy.NewField(p, pos), 13)
+	res, err := RunWithFailures(e, pl, values, agg.Sum, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	informed, exact := 0, 0
+	for i, r := range res {
+		if _, isDead := dead[i]; isDead {
+			if r.Ok {
+				t.Errorf("dead node %d reported a result", i)
+			}
+			continue
+		}
+		if r.Ok {
+			informed++
+			if r.Value == aliveSum {
+				exact++
+			}
+		}
+	}
+	alive := n - len(dead)
+	if informed < alive*9/10 {
+		t.Errorf("informed %d/%d alive nodes", informed, alive)
+	}
+	if exact < informed {
+		t.Errorf("%d/%d informed nodes missed the alive-sum %d", informed-exact, informed, aliveSum)
+	}
+}
+
+func TestFailuresMidPipeline(t *testing.T) {
+	// Followers dying after delivering their value must not corrupt the
+	// total; a reporter dying before the tree pass loses only its channel's
+	// values (the takeover rules keep the tree connected).
+	const n = 24
+	p := model.Default(4, 64)
+	rc := p.ClusterRadius()
+	rnd := rand.New(rand.NewSource(17))
+	pos := make([]geo.Point, n)
+	for i := 1; i < n; i++ {
+		pos[i] = geo.Point{
+			X: (rnd.Float64()*2 - 1) * rc / 2,
+			Y: (rnd.Float64()*2 - 1) * rc / 2,
+		}
+	}
+	values := make([]int64, n)
+	var want int64
+	for i := range values {
+		values[i] = int64(i + 1)
+		want += values[i]
+	}
+	dead := map[int]int{3: StageTree, 9: StageBackbone}
+	cfg := DefaultConfig(p)
+	cfg.DeltaHat = n
+	cfg.PhiMax = 4
+	cfg.HopBound = 2
+	pl := NewPlan(p, cfg)
+	e := sim.NewEngine(phy.NewField(p, pos), 19)
+	res, err := RunWithFailures(e, pl, values, agg.Sum, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	informed := 0
+	for i, r := range res {
+		if _, isDead := dead[i]; isDead {
+			continue
+		}
+		if r.Ok {
+			informed++
+			// The total may be short by the dead nodes' subtree values but
+			// never inflated.
+			if r.Value > want || r.Value < want-int64(3+1+9+1+n) {
+				t.Errorf("node %d value %d implausible (want ≤ %d)", i, r.Value, want)
+			}
+		}
+	}
+	if informed < (n-2)*8/10 {
+		t.Errorf("informed %d/%d survivors", informed, n-2)
+	}
+}

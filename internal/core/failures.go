@@ -1,0 +1,100 @@
+package core
+
+import (
+	"mcnet/internal/agg"
+	"mcnet/internal/backbone"
+	"mcnet/internal/reporter"
+	"mcnet/internal/sim"
+)
+
+// Stage indices for failure injection.
+const (
+	StageBuild = iota
+	StageFollowers
+	StageTree
+	StageBackbone
+	StageInform
+	stageCount
+)
+
+// RunWithFailures executes the aggregation pipeline with crash faults:
+// diesBefore[i] = s makes node i power off just before stage s (use
+// stageCount or omit the key to keep a node alive). Dead nodes simply
+// return from their program — the engine idles them — so the run always
+// completes; the caller inspects how gracefully the structure degraded.
+func RunWithFailures(e *sim.Engine, pl *Plan, values []int64, op agg.Op, diesBefore map[int]int) ([]Result, error) {
+	n := e.Field().N()
+	if len(values) != n {
+		values = make([]int64, n)
+	}
+	res := make([]Result, n)
+	progs := make([]sim.Program, n)
+	for i := 0; i < n; i++ {
+		i := i
+		deadAt, ok := diesBefore[i]
+		if !ok {
+			deadAt = stageCount
+		}
+		progs[i] = pl.failureProgram(i, deadAt, values[i], op, res)
+	}
+	if _, err := e.Run(progs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (pl *Plan) failureProgram(i, deadAt int, value int64, op agg.Op, res []Result) sim.Program {
+	return func(ctx *sim.Ctx) {
+		r := &res[i]
+		if deadAt <= StageBuild {
+			return
+		}
+		st := pl.BuildStage(ctx)
+		r.IsDominator = st.IsDominator()
+		r.Dominator = st.Dom.Dominator
+		r.Color = st.Color
+		r.SizeEst = st.Est
+		r.Channel = st.Channel
+		r.IsReporter = st.IsReporter()
+		if deadAt <= StageFollowers {
+			return
+		}
+		got, _ := pl.FollowerStage(ctx, st, value)
+		if deadAt <= StageTree {
+			return
+		}
+		cast := pl.CastConfig(st.Off)
+		var clusterAgg int64
+		if st.Role >= 0 {
+			castVal := value
+			for _, v := range got {
+				castVal = op.Combine(castVal, v)
+			}
+			cs := reporter.RunCastUp(ctx, cast, st.Role, st.Dom.Dominator, castVal, op)
+			if st.Role == 0 {
+				clusterAgg = cs.Value
+			}
+		} else {
+			reporter.IdleCast(ctx, cast)
+		}
+		if deadAt <= StageBackbone {
+			return
+		}
+		var final int64
+		informed := false
+		if st.IsDominator() {
+			out := backbone.RunTree(ctx, pl.Tree, st.Off, clusterAgg, op)
+			final, informed = out.Result, out.Done
+		} else {
+			backbone.IdleTree(ctx, pl.Tree)
+		}
+		if deadAt <= StageInform {
+			return
+		}
+		final, informed = pl.InformStage(ctx, st, final, informed)
+		if informed {
+			r.Value, r.Ok = final, true
+			ctx.Emit(EventInformed, 0)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package csa implements Cluster-Size Approximation (Sec. 5.2.1 and
+// Appendix A): every node of a well-separated cluster learns a constant-
+// factor approximation of its cluster's size.
+//
+// Two variants are provided, exactly as in the paper:
+//
+//   - The large-Δ̂ variant (Sec. 5.2.1.1) uses a single channel. Dominatees
+//     probe with a probability that starts at λ/Δ̂ and doubles each phase;
+//     the dominator terminates the estimate when it hears enough probes in
+//     one phase, inferring |C| ≈ λ/p from the probe probability p. Runtime
+//     O(log Δ̂ · log n).
+//
+//   - The small-Δ̂ variant (Appendix A) spreads dominatees uniformly over
+//     the F channels, elects a per-channel leader (reporter.RunElect), runs
+//     the probing estimator per channel with the small per-channel bound,
+//     aggregates the per-channel estimates to the dominator over the
+//     reporter tree, and broadcasts the total. Runtime O(log n · log log n)
+//     when Δ̂ ≤ F·polylog(n) (Lemma 13).
+//
+// Choose combines them per Lemma 14.
+package csa
+
+import (
+	"math"
+
+	"mcnet/internal/agg"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/reporter"
+	"mcnet/internal/sim"
+)
+
+// Probe is a dominatee's counting transmission.
+type Probe struct {
+	From, Dom int
+}
+
+// Estimate is the dominator's (or channel leader's) termination notice
+// carrying the cluster-size estimate.
+type Estimate struct {
+	Dom int
+	Est int
+}
+
+// Config parameterizes the large-Δ̂ estimator (also used per channel by the
+// small-Δ̂ variant).
+type Config struct {
+	// Channel the estimator runs on.
+	Channel int
+	// ClusterRadius bounds the distance to co-members (2·r_c).
+	ClusterRadius float64
+	// DeltaHat is the known upper bound Δ̂ on the cluster size.
+	DeltaHat int
+	// Lambda is the target contention λ (the paper uses 1/2).
+	Lambda float64
+	// CountFactor: the dominator terminates on ≥ CountFactor·ln n̂ probes in
+	// a phase (the paper's ω₁).
+	CountFactor float64
+	// RoundFactor: probe rounds per phase = ceil(RoundFactor·ln n̂) (the
+	// paper's γ₁).
+	RoundFactor float64
+	// Stride and Offset interleave clusters under the TDMA scheme.
+	Stride, Offset int
+}
+
+// DefaultConfig returns the pipeline configuration of the large-Δ̂
+// estimator.
+func DefaultConfig(deltaHat int, clusterRadius float64) Config {
+	return Config{
+		Channel:       0,
+		ClusterRadius: clusterRadius,
+		DeltaHat:      deltaHat,
+		Lambda:        0.5,
+		CountFactor:   2,
+		RoundFactor:   16,
+		Stride:        1,
+	}
+}
+
+func (c Config) stride() int {
+	if c.Stride < 1 {
+		return 1
+	}
+	return c.Stride
+}
+
+// Phases returns ⌈log₂ Δ̂⌉, the number of doubling phases.
+func (c Config) Phases() int {
+	if c.DeltaHat <= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(c.DeltaHat))))
+}
+
+// RoundsPerPhase returns the probe rounds per phase.
+func (c Config) RoundsPerPhase(p model.Params) int {
+	return int(math.Ceil(c.RoundFactor * p.LogN()))
+}
+
+// SlotBudget returns the exact number of slots the estimator consumes:
+// per phase, RoundsPerPhase probe rounds plus one notification round.
+func (c Config) SlotBudget(p model.Params) int {
+	return c.stride() * c.Phases() * (c.RoundsPerPhase(p) + 1)
+}
+
+// Idle consumes the estimator budget without participating.
+func Idle(ctx *sim.Ctx, cfg Config) {
+	ctx.IdleFor(cfg.SlotBudget(ctx.Params()))
+}
+
+// threshold is the termination count for the given parameters.
+func (c Config) threshold(p model.Params) int {
+	t := int(math.Ceil(c.CountFactor * p.LogN()))
+	if t < 1 {
+		return 1
+	}
+	return t
+}
+
+// RunDominator executes the counting side for cluster head dom (usually the
+// caller itself; channel leaders in the small-Δ̂ variant pass their own ID).
+// It returns the estimate of the number of PROBING members (excluding the
+// head itself), ≥ 1·constant-factor accurate w.h.p., or 0 if the cluster
+// appears empty. It consumes exactly cfg.SlotBudget slots.
+func RunDominator(ctx *sim.Ctx, cfg Config, dom int) int {
+	var (
+		p          = ctx.Params()
+		stride     = cfg.stride()
+		rounds     = cfg.RoundsPerPhase(p)
+		thresh     = cfg.threshold(p)
+		estimate   = 0
+		terminated = false
+	)
+	for phase := 0; phase < cfg.Phases(); phase++ {
+		count := 0
+		for r := 0; r < rounds; r++ {
+			ctx.IdleFor(cfg.Offset)
+			rec := ctx.Listen(cfg.Channel)
+			if m, ok := rec.Msg.(Probe); ok && m.Dom == dom &&
+				phy.SenderWithin(rec, p, cfg.ClusterRadius) {
+				count++
+			}
+			ctx.IdleFor(stride - 1 - cfg.Offset)
+		}
+		// Notification round.
+		ctx.IdleFor(cfg.Offset)
+		if !terminated && count >= thresh {
+			terminated = true
+			estimate = cfg.DeltaHat >> phase
+			if estimate < 1 {
+				estimate = 1
+			}
+		}
+		if terminated {
+			ctx.Transmit(cfg.Channel, Estimate{Dom: dom, Est: estimate})
+		} else {
+			ctx.Idle()
+		}
+		ctx.IdleFor(stride - 1 - cfg.Offset)
+	}
+	return estimate
+}
+
+// RunDominatee executes the probing side for a member of cluster dom. It
+// returns the estimate learned from the head's notification (0 if none
+// arrived). It consumes exactly cfg.SlotBudget slots.
+func RunDominatee(ctx *sim.Ctx, cfg Config, dom int) int {
+	var (
+		p        = ctx.Params()
+		stride   = cfg.stride()
+		rounds   = cfg.RoundsPerPhase(p)
+		prob     = cfg.Lambda / float64(cfg.DeltaHat)
+		estimate = 0
+	)
+	for phase := 0; phase < cfg.Phases(); phase++ {
+		for r := 0; r < rounds; r++ {
+			ctx.IdleFor(cfg.Offset)
+			if estimate == 0 && ctx.Rand.Float64() < prob {
+				ctx.Transmit(cfg.Channel, Probe{From: ctx.ID(), Dom: dom})
+			} else {
+				ctx.Idle()
+			}
+			ctx.IdleFor(stride - 1 - cfg.Offset)
+		}
+		// Notification round.
+		ctx.IdleFor(cfg.Offset)
+		rec := ctx.Listen(cfg.Channel)
+		if m, ok := rec.Msg.(Estimate); ok && m.Dom == dom &&
+			phy.SenderWithin(rec, p, cfg.ClusterRadius) && estimate == 0 {
+			estimate = m.Est
+		}
+		ctx.IdleFor(stride - 1 - cfg.Offset)
+		prob = math.Min(prob*2, cfg.Lambda)
+	}
+	return estimate
+}
+
+// SmallConfig parameterizes the Appendix A multichannel estimator.
+type SmallConfig struct {
+	// F is the number of channels to spread members over.
+	F int
+	// ClusterRadius bounds the distance to co-members (2·r_c).
+	ClusterRadius float64
+	// PerChannelBound is the Δ̂ used by the per-channel estimators (the
+	// paper's γ₃·ln^c n; members per channel are O(polylog n) w.h.p.).
+	PerChannelBound int
+	// Elect configures the per-channel leader election.
+	Elect reporter.ElectConfig
+	// Probe configures the per-channel estimator (Channel is overridden).
+	Probe Config
+	// Stride and Offset interleave clusters under the TDMA scheme.
+	Stride, Offset int
+}
+
+// DefaultSmallConfig returns the pipeline configuration of the small-Δ̂
+// variant.
+func DefaultSmallConfig(p model.Params, clusterRadius float64) SmallConfig {
+	perChan := int(math.Ceil(8 * p.LogN()))
+	probe := DefaultConfig(perChan, clusterRadius)
+	return SmallConfig{
+		F:               p.Channels,
+		ClusterRadius:   clusterRadius,
+		PerChannelBound: perChan,
+		Elect:           reporter.DefaultElectConfig(clusterRadius),
+		Probe:           probe,
+		Stride:          1,
+	}
+}
+
+func (c SmallConfig) stride() int {
+	if c.Stride < 1 {
+		return 1
+	}
+	return c.Stride
+}
+
+// SlotBudget returns the exact number of slots the small-Δ̂ estimator
+// consumes: election + per-channel estimation + tree aggregation + one
+// broadcast round.
+func (c SmallConfig) SlotBudget(p model.Params) int {
+	elect := c.Elect
+	elect.Stride, elect.Offset = c.stride(), 0
+	probe := c.Probe
+	probe.Stride, probe.Offset = c.stride(), 0
+	cast := reporter.DefaultCastConfig(c.F, c.ClusterRadius)
+	cast.Stride, cast.Offset = c.stride(), 0
+	return elect.SlotBudget(p) + probe.SlotBudget(p) + cast.SlotBudget() + c.stride()
+}
+
+// IdleSmall consumes the small-variant budget without participating.
+func IdleSmall(ctx *sim.Ctx, cfg SmallConfig) {
+	ctx.IdleFor(cfg.SlotBudget(ctx.Params()))
+}
+
+// RunSmallDominator executes the dominator side of the Appendix A variant
+// and returns the cluster-size estimate (counting members and the dominator
+// itself). It consumes exactly cfg.SlotBudget slots.
+func RunSmallDominator(ctx *sim.Ctx, cfg SmallConfig) int {
+	var (
+		elect = cfg.Elect
+		probe = cfg.Probe
+		cast  = reporter.DefaultCastConfig(cfg.F, cfg.ClusterRadius)
+	)
+	elect.Stride, elect.Offset = cfg.stride(), cfg.Offset
+	probe.Stride, probe.Offset = cfg.stride(), cfg.Offset
+	cast.Stride, cast.Offset = cfg.stride(), cfg.Offset
+
+	// The dominator sits out election and probing.
+	reporter.IdleElect(ctx, elect)
+	Idle(ctx, probe)
+	st := reporter.RunCastUp(ctx, cast, 0, ctx.ID(), 0, agg.Sum)
+	est := int(st.Value) + 1 // members + self
+
+	// Broadcast round.
+	ctx.IdleFor(cfg.Offset)
+	ctx.Transmit(0, Estimate{Dom: ctx.ID(), Est: est})
+	ctx.IdleFor(cfg.stride() - 1 - cfg.Offset)
+	return est
+}
+
+// RunSmallDominatee executes the member side: pick a channel, elect a
+// leader, estimate per channel, aggregate, and learn the total from the
+// dominator's broadcast. It returns the learned estimate (0 if the
+// broadcast was missed). It consumes exactly cfg.SlotBudget slots.
+func RunSmallDominatee(ctx *sim.Ctx, cfg SmallConfig, dom int) int {
+	var (
+		p     = ctx.Params()
+		elect = cfg.Elect
+		probe = cfg.Probe
+		cast  = reporter.DefaultCastConfig(cfg.F, cfg.ClusterRadius)
+	)
+	elect.Stride, elect.Offset = cfg.stride(), cfg.Offset
+	probe.Stride, probe.Offset = cfg.stride(), cfg.Offset
+	cast.Stride, cast.Offset = cfg.stride(), cfg.Offset
+
+	channel := ctx.Rand.Intn(cfg.F)
+	probe.Channel = channel
+
+	leader := reporter.RunElect(ctx, elect, channel, dom)
+	var channelCount int64
+	if leader == ctx.ID() {
+		channelCount = int64(RunDominator(ctx, probe, ctx.ID())) + 1 // + leader
+		reporter.RunCastUp(ctx, cast, channel+1, dom, channelCount, agg.Sum)
+	} else {
+		RunDominatee(ctx, probe, leader)
+		reporter.IdleCast(ctx, cast)
+	}
+
+	// Broadcast round: listen on channel 0.
+	ctx.IdleFor(cfg.Offset)
+	est := 0
+	rec := ctx.Listen(0)
+	if m, ok := rec.Msg.(Estimate); ok && m.Dom == dom &&
+		phy.SenderWithin(rec, p, cfg.ClusterRadius) {
+		est = m.Est
+	}
+	ctx.IdleFor(cfg.stride() - 1 - cfg.Offset)
+	return est
+}
+
+// UseSmall implements the Lemma 14 chooser: the small variant applies when
+// Δ̂ ≤ F·log^{ĉ+2} n̂ (we use ĉ = 0, i.e. Δ̂/F ≤ log² n̂).
+func UseSmall(p model.Params, deltaHat int) bool {
+	return float64(deltaHat)/float64(p.Channels) <= p.LogN()*p.LogN()
+}

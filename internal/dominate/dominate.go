@@ -1,0 +1,225 @@
+// Package dominate computes the r_c-dominating set of constant density that
+// heads the paper's aggregation structure (Sec. 5.1.1), together with the
+// clustering function assigning every node a dominator within distance r_c.
+//
+// The paper adopts the O(log n) protocol of Scheideler, Richa and Santi [28]
+// as a black box. This package implements an equivalent substrate (deviation
+// D2 in DESIGN.md): a HELLO/ACK/IN contention process in the style of the
+// Sec. 4 ruling-set algorithm, extended with
+//
+//   - per-phase probability doubling from 1/n̂ up to the cap 1/(2µ), so the
+//     process works at unbounded node density without degree knowledge, and
+//   - periodic IN re-announcements by established dominators, so stragglers
+//     are absorbed into existing clusters instead of founding new ones.
+//
+// Rounds have three slots: HELLO (probe), ACK (clear receivers confirm), IN
+// (confirmed probers join the dominating set / dominators re-announce).
+// A node that finishes the schedule neither dominated nor dominating
+// appoints itself dominator, guaranteeing coverage; re-announcements make
+// this rare outside genuinely isolated spots.
+package dominate
+
+import (
+	"math"
+
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+)
+
+// Hello is the slot-1 probe of a candidate node.
+type Hello struct {
+	From int
+}
+
+// Ack is the slot-2 confirmation addressed to a probing candidate.
+type Ack struct {
+	To int
+}
+
+// In is the slot-3 announcement of a (new or established) dominator.
+type In struct {
+	From int
+}
+
+// Config parameterizes the dominating-set construction.
+type Config struct {
+	// R is the dominating radius (the pipeline passes r_c).
+	R float64
+	// Channel all nodes operate on.
+	Channel int
+	// Mu caps the HELLO probability at 1/(2µ).
+	Mu float64
+	// AckProb is the probability with which a clear receiver confirms.
+	AckProb float64
+	// ReannounceProb is the probability an established dominator repeats IN
+	// in slot 3 of a round.
+	ReannounceProb float64
+	// RoundFactor scales rounds per phase: ceil(RoundFactor·ln n̂).
+	RoundFactor float64
+	// Phases overrides the number of doubling phases; 0 means ceil(log₂ n̂).
+	Phases int
+}
+
+// DefaultConfig returns the pipeline configuration for radius r on the given
+// channel.
+func DefaultConfig(r float64, channel int) Config {
+	return Config{
+		R:              r,
+		Channel:        channel,
+		Mu:             4,
+		AckProb:        0.5,
+		ReannounceProb: 0.25,
+		RoundFactor:    4,
+	}
+}
+
+// Outcome is the per-node result of the construction.
+type Outcome struct {
+	// IsDominator reports whether the node heads a cluster.
+	IsDominator bool
+	// Dominator is the ID of the node's cluster head (its own ID for
+	// dominators). It is always set after Run.
+	Dominator int
+	// SelfAppointed reports that the node became a dominator by exhausting
+	// the schedule uncovered rather than via the ACK handshake.
+	SelfAppointed bool
+}
+
+func (c Config) phases(p model.Params) int {
+	if c.Phases > 0 {
+		return c.Phases
+	}
+	return int(math.Ceil(math.Log2(float64(p.NEstimate))))
+}
+
+func (c Config) roundsPerPhase(p model.Params) int {
+	return int(math.Ceil(c.RoundFactor * p.LogN()))
+}
+
+// SlotBudget returns the exact number of slots Run and Idle consume.
+func (c Config) SlotBudget(p model.Params) int {
+	return 3 * c.phases(p) * c.roundsPerPhase(p)
+}
+
+// Idle consumes the stage's slot budget without participating.
+func Idle(ctx *sim.Ctx, cfg Config) {
+	ctx.IdleFor(cfg.SlotBudget(ctx.Params()))
+}
+
+// Run executes the node's side of the dominating-set construction,
+// consuming exactly cfg.SlotBudget slots.
+func Run(ctx *sim.Ctx, cfg Config) Outcome {
+	var (
+		p      = ctx.Params()
+		phases = cfg.phases(p)
+		rounds = cfg.roundsPerPhase(p)
+		prob   = 1 / float64(p.NEstimate)
+		cap    = 1 / (2 * cfg.Mu)
+		out    = Outcome{Dominator: -1}
+	)
+	for phase := 0; phase < phases; phase++ {
+		for round := 0; round < rounds; round++ {
+			// Slot 1: HELLO.
+			candidate := out.Dominator == -1 && !out.IsDominator
+			sentHello := candidate && ctx.Rand.Float64() < prob
+			clearFrom := -1
+			if sentHello {
+				ctx.Transmit(cfg.Channel, Hello{From: ctx.ID()})
+			} else {
+				rec := ctx.Listen(cfg.Channel)
+				if h, ok := rec.Msg.(Hello); ok && !out.IsDominator &&
+					phy.Clear(rec, p, cfg.R) {
+					clearFrom = h.From
+				}
+			}
+
+			// Slot 2: ACK.
+			gotAck := false
+			switch {
+			case sentHello:
+				rec := ctx.Listen(cfg.Channel)
+				if a, ok := rec.Msg.(Ack); ok && a.To == ctx.ID() &&
+					phy.SenderWithin(rec, p, cfg.R) {
+					gotAck = true
+				}
+			case clearFrom >= 0 && ctx.Rand.Float64() < cfg.AckProb:
+				ctx.Transmit(cfg.Channel, Ack{To: clearFrom})
+			default:
+				ctx.Listen(cfg.Channel)
+			}
+
+			// Slot 3: IN — new dominators announce; established dominators
+			// re-announce; everyone else listens for coverage.
+			switch {
+			case sentHello && gotAck:
+				out.IsDominator = true
+				out.Dominator = ctx.ID()
+				ctx.Transmit(cfg.Channel, In{From: ctx.ID()})
+			case out.IsDominator && ctx.Rand.Float64() < cfg.ReannounceProb:
+				ctx.Transmit(cfg.Channel, In{From: ctx.ID()})
+			default:
+				rec := ctx.Listen(cfg.Channel)
+				if in, ok := rec.Msg.(In); ok && out.Dominator == -1 &&
+					phy.SenderWithin(rec, p, cfg.R) {
+					out.Dominator = in.From
+				}
+			}
+		}
+		prob = math.Min(prob*2, cap)
+	}
+	if out.Dominator == -1 {
+		out.IsDominator = true
+		out.SelfAppointed = true
+		out.Dominator = ctx.ID()
+	}
+	return out
+}
+
+// Stats summarizes a constructed dominating set for validation and the E9
+// experiment.
+type Stats struct {
+	// Dominators is the number of cluster heads.
+	Dominators int
+	// SelfAppointed counts dominators created by the fallback rule.
+	SelfAppointed int
+	// MaxDensity is the maximum number of dominators in any R-ball centered
+	// at a dominator (the paper's density µ).
+	MaxDensity int
+	// Uncovered counts nodes whose assigned dominator is farther than R
+	// (zero for a correct run).
+	Uncovered int
+	// MaxClusterSize is the largest cluster (dominator plus dominatees).
+	MaxClusterSize int
+}
+
+// Analyze validates outcomes against the geometry.
+func Analyze(pos []geo.Point, out []Outcome, r float64) Stats {
+	var s Stats
+	var dom []geo.Point
+	clusterSize := make(map[int]int)
+	for i, o := range out {
+		if o.IsDominator {
+			s.Dominators++
+			if o.SelfAppointed {
+				s.SelfAppointed++
+			}
+			dom = append(dom, pos[i])
+		}
+		if o.Dominator < 0 || !out[o.Dominator].IsDominator ||
+			pos[i].Dist(pos[o.Dominator]) > r {
+			s.Uncovered++
+		}
+		clusterSize[o.Dominator]++
+	}
+	if len(dom) > 0 {
+		s.MaxDensity = geo.MaxBallCount(dom, r)
+	}
+	for _, c := range clusterSize {
+		if c > s.MaxClusterSize {
+			s.MaxClusterSize = c
+		}
+	}
+	return s
+}

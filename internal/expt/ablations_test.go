@@ -1,0 +1,36 @@
+package expt
+
+import "testing"
+
+func TestA1Quick(t *testing.T) {
+	tb, err := A1BackoffAblation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestA2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sparse ablation is slow")
+	}
+	tb, err := A2TDMAAblation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestA3Quick(t *testing.T) {
+	tb, err := A3ChannelSpreadAblation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}

@@ -1,0 +1,637 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"mcnet/internal/agg"
+	"mcnet/internal/backbone"
+	"mcnet/internal/baseline"
+	"mcnet/internal/coloring"
+	"mcnet/internal/core"
+	"mcnet/internal/csa"
+	"mcnet/internal/dominate"
+	"mcnet/internal/geo"
+	"mcnet/internal/graph"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/ruling"
+	"mcnet/internal/sim"
+	"mcnet/internal/stats"
+	"mcnet/internal/topology"
+)
+
+// Options sizes an experiment.
+type Options struct {
+	// Seeds is the number of independent repetitions (medians reported).
+	Seeds int
+	// Quick shrinks the sweep for tests and smoke runs.
+	Quick bool
+}
+
+// DefaultOptions is the full-size configuration used by the benchmarks.
+var DefaultOptions = Options{Seeds: 3}
+
+func (o Options) seeds() int {
+	if o.Seeds < 1 {
+		return 1
+	}
+	return o.Seeds
+}
+
+// E1SpeedupVsChannels measures aggregation latency on a single-cluster
+// crowd while sweeping the channel count F: the headline linear-speedup
+// claim (Theorem 22, the Δ/F term).
+func E1SpeedupVsChannels(o Options) (*stats.Table, error) {
+	n := 192
+	fs := []int{1, 2, 4, 8, 16}
+	if o.Quick {
+		n = 64
+		fs = []int{1, 4}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("E1: aggregation vs channels (crowd n=%d, Δ=n-1)", n),
+		"F", "ack_slots", "agg_slots", "speedup", "informed", "exact")
+	var base float64
+	for _, f := range fs {
+		var acks, aggs []float64
+		informed, exact, total := 0, 0, 0
+		for s := 0; s < o.seeds(); s++ {
+			p := model.Default(f, n)
+			pos := Crowd(p, n, uint64(s+1))
+			values, _ := sequentialValues(n)
+			cfg := core.DefaultConfig(p)
+			cfg.DeltaHat = n
+			cfg.PhiMax = 4
+			cfg.HopBound = 2
+			m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(100*f+s))
+			if err != nil {
+				return nil, err
+			}
+			acks = append(acks, float64(m.AckSlots))
+			aggs = append(aggs, float64(m.AggSlots))
+			informed += m.Informed
+			exact += m.Exact
+			total += m.N
+		}
+		ack := stats.Median(acks)
+		aggT := stats.Median(aggs)
+		if f == fs[0] {
+			base = ack
+		}
+		speedup := 0.0
+		if ack > 0 {
+			speedup = base / ack
+		}
+		t.AddRow(stats.I(f), stats.F1(ack), stats.F1(aggT), stats.F(speedup),
+			pct(informed, total), pct(exact, total))
+	}
+	t.AddNote("seeds=%d; ack_slots = last follower acknowledged (Δ/F mechanism); speedup relative to F=%d", o.seeds(), fs[0])
+	return t, nil
+}
+
+// E2AggVsN measures aggregation latency as the crowd grows at fixed F.
+func E2AggVsN(o Options) (*stats.Table, error) {
+	ns := []int{64, 128, 256, 384}
+	if o.Quick {
+		ns = []int{48, 96}
+	}
+	const f = 8
+	t := stats.NewTable(
+		fmt.Sprintf("E2: aggregation vs n (crowd, F=%d)", f),
+		"n", "Delta", "ack_slots", "agg_slots", "exact")
+	for _, n := range ns {
+		var acks, aggs []float64
+		exact, total := 0, 0
+		for s := 0; s < o.seeds(); s++ {
+			p := model.Default(f, n)
+			pos := Crowd(p, n, uint64(s+11))
+			values, _ := sequentialValues(n)
+			cfg := core.DefaultConfig(p)
+			cfg.DeltaHat = n
+			cfg.PhiMax = 4
+			cfg.HopBound = 2
+			m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(1000*n+s))
+			if err != nil {
+				return nil, err
+			}
+			acks = append(acks, float64(m.AckSlots))
+			aggs = append(aggs, float64(m.AggSlots))
+			exact += m.Exact
+			total += m.N
+		}
+		t.AddRow(stats.I(n), stats.I(n-1), stats.F1(stats.Median(acks)),
+			stats.F1(stats.Median(aggs)), pct(exact, total))
+	}
+	t.AddNote("seeds=%d; expect ack_slots ≈ a + b·Δ/F (linear in n at fixed F)", o.seeds())
+	return t, nil
+}
+
+// E3Baselines compares the multichannel pipeline against the single-channel
+// comparators on the same field.
+func E3Baselines(o Options) (*stats.Table, error) {
+	n := 128
+	if o.Quick {
+		n = 48
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("E3: aggregation vs baselines (crowd n=%d)", n),
+		"algorithm", "slots", "exact")
+	type row struct {
+		name  string
+		slots []float64
+		exact int
+		total int
+	}
+	rows := []*row{
+		{name: "multichannel F=8"},
+		{name: "multichannel F=1"},
+		{name: "single-channel tree"},
+		{name: "TDMA by ID (centralized)"},
+	}
+	for s := 0; s < o.seeds(); s++ {
+		seed := uint64(s + 21)
+		values, want := sequentialValues(n)
+
+		for idx, f := range []int{8, 1} {
+			p := model.Default(f, n)
+			pos := Crowd(p, n, seed)
+			cfg := core.DefaultConfig(p)
+			cfg.DeltaHat = n
+			cfg.PhiMax = 4
+			cfg.HopBound = 2
+			m, err := RunAgg(pos, p, cfg, values, agg.Sum, seed*7+uint64(idx))
+			if err != nil {
+				return nil, err
+			}
+			rows[idx].slots = append(rows[idx].slots, float64(m.AggSlots))
+			rows[idx].exact += m.Exact
+			rows[idx].total += m.N
+		}
+
+		p := model.Default(1, n)
+		pos := Crowd(p, n, seed)
+		e := sim.NewEngine(phy.NewField(p, pos), seed*13)
+		out, err := baseline.SingleChannelTree(e, values, agg.Sum, n-1, 3)
+		if err != nil {
+			return nil, err
+		}
+		last := 0
+		for _, ev := range e.Events() {
+			switch ev.Name {
+			case "backbone-agg", "backbone-result", "backbone-agg-update":
+				if ev.Slot > last {
+					last = ev.Slot
+				}
+			}
+		}
+		rows[2].slots = append(rows[2].slots, float64(last))
+		for _, r := range out {
+			if r.Done && r.Value == want {
+				rows[2].exact++
+			}
+			rows[2].total++
+		}
+
+		e = sim.NewEngine(phy.NewField(p, pos), seed*17)
+		tout, err := baseline.TDMAByID(e, pos, values, agg.Sum)
+		if err != nil {
+			return nil, err
+		}
+		rows[3].slots = append(rows[3].slots, float64(2*n))
+		for _, r := range tout {
+			if r.Done && r.Value == want {
+				rows[3].exact++
+			}
+			rows[3].total++
+		}
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, stats.F1(stats.Median(r.slots)), pct(r.exact, r.total))
+	}
+	t.AddNote("seeds=%d; slots = event-measured completion of the aggregate", o.seeds())
+	return t, nil
+}
+
+// E4Coloring measures the Sec. 7 coloring: time, palette size and
+// correctness, against the centralized greedy palette.
+func E4Coloring(o Options) (*stats.Table, error) {
+	n := 96
+	fs := []int{1, 4, 8}
+	if o.Quick {
+		n = 40
+		fs = []int{1, 4}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("E4: node coloring (crowd n=%d, Δ=n-1)", n),
+		"F", "color_slots", "palette", "greedy_ref", "conflicts", "uncolored")
+	for _, f := range fs {
+		var times []float64
+		palette, conflicts, uncolored, greedyRef := 0, 0, 0, 0
+		for s := 0; s < o.seeds(); s++ {
+			p := model.Default(f, n)
+			pos := Crowd(p, n, uint64(s+31))
+			cfg := core.DefaultConfig(p)
+			cfg.DeltaHat = n
+			cfg.PhiMax = 4
+			cfg.HopBound = 2
+			pl := core.NewPlan(p, cfg)
+			e := sim.NewEngine(phy.NewField(p, pos), uint64(300*f+s))
+			res, err := coloring.Run(e, pl, coloring.DefaultConfig(), uint64(s))
+			if err != nil {
+				return nil, err
+			}
+			c, u, pal := coloring.Validate(pos, p.REps(), res)
+			conflicts += c
+			uncolored += u
+			if pal > palette {
+				palette = pal
+			}
+			if gr := baseline.MaxColor(baseline.GreedyColors(pos, p.REps())); gr > greedyRef {
+				greedyRef = gr
+			}
+			last := 0
+			for _, ev := range e.Events() {
+				if ev.Name == coloring.EventColored && ev.Slot > last {
+					last = ev.Slot
+				}
+			}
+			times = append(times, float64(last-pl.Offsets.Followers))
+		}
+		t.AddRow(stats.I(f), stats.F1(stats.Median(times)), stats.I(palette),
+			stats.I(greedyRef), stats.I(conflicts), stats.I(uncolored))
+	}
+	t.AddNote("seeds=%d; color_slots measured from the end of structure construction", o.seeds())
+	return t, nil
+}
+
+// E5RulingSet measures the Sec. 4 ruling-set algorithm: completion rounds
+// (expect ∝ log n) and validity.
+func E5RulingSet(o Options) (*stats.Table, error) {
+	ns := []int{64, 128, 256, 512}
+	if o.Quick {
+		ns = []int{64, 128}
+	}
+	t := stats.NewTable("E5: ruling set (sparse fields)",
+		"n", "rounds_done", "budget_rounds", "violations", "undominated")
+	const r = 0.06
+	for _, n := range ns {
+		var rounds []float64
+		viol, undom := 0, 0
+		for s := 0; s < o.seeds(); s++ {
+			p := model.Default(1, n)
+			rnd := newRand(uint64(500*n + s))
+			// Constant areal density (the regime the pipeline invokes ruling
+			// sets in), with one in eight nodes placed as a close "twin" of
+			// an earlier node so the HELLO/ACK/IN resolution is exercised.
+			side := 0.35 * math.Sqrt(float64(n))
+			pos := topology.Uniform(rnd, n-n/8, side, side)
+			for len(pos) < n {
+				base := pos[rnd.Intn(len(pos))]
+				pos = append(pos, geo.Point{
+					X: base.X + (rnd.Float64()*2-1)*r/3,
+					Y: base.Y + (rnd.Float64()*2-1)*r/3,
+				})
+			}
+			cfg := ruling.DefaultConfig(r, 0)
+			e := sim.NewEngine(phy.NewField(p, pos), uint64(s+1))
+			out := make([]ruling.Outcome, n)
+			progs := make([]sim.Program, n)
+			for i := range progs {
+				i := i
+				progs[i] = func(ctx *sim.Ctx) { out[i] = ruling.Run(ctx, cfg) }
+			}
+			if _, err := e.Run(progs); err != nil {
+				return nil, err
+			}
+			maxRound := 0
+			part := make([]bool, n)
+			inset := make([]bool, n)
+			for i, oc := range out {
+				part[i] = true
+				inset[i] = oc.InSet
+				if oc.JoinRound > maxRound && oc.JoinRound < cfg.Rounds(p) {
+					maxRound = oc.JoinRound
+				}
+			}
+			v, u := ruling.Validate(pos, part, inset, r)
+			viol += v
+			undom += u
+			rounds = append(rounds, float64(maxRound+1))
+		}
+		p := model.Default(1, n)
+		t.AddRow(stats.I(n), stats.F1(stats.Median(rounds)),
+			stats.I(ruling.DefaultConfig(r, 0).Rounds(p)), stats.I(viol), stats.I(undom))
+	}
+	t.AddNote("seeds=%d; rounds_done = last decision round; expect growth ∝ log n", o.seeds())
+	return t, nil
+}
+
+// E6CSA measures cluster-size approximation accuracy and cost for both
+// variants (Lemmas 12–14).
+func E6CSA(o Options) (*stats.Table, error) {
+	sizes := []int{16, 64, 192}
+	if o.Quick {
+		sizes = []int{16, 48}
+	}
+	t := stats.NewTable("E6: cluster-size approximation",
+		"cluster_size", "variant", "est/truth", "budget_slots")
+	for _, size := range sizes {
+		for _, variant := range []string{"large", "small"} {
+			var ratios []float64
+			budget := 0
+			for s := 0; s < o.seeds(); s++ {
+				f := 8
+				p := model.Default(f, 256)
+				pos := Crowd(p, size, uint64(600*size+s))
+				e := sim.NewEngine(phy.NewField(p, pos), uint64(700*size+s))
+				est := 0
+				memberR := 2 * p.ClusterRadius()
+				progs := make([]sim.Program, size)
+				if variant == "large" {
+					cfg := csa.DefaultConfig(256, memberR)
+					budget = cfg.SlotBudget(p)
+					progs[0] = func(ctx *sim.Ctx) { est = csa.RunDominator(ctx, cfg, 0) + 1 }
+					for i := 1; i < size; i++ {
+						progs[i] = func(ctx *sim.Ctx) { csa.RunDominatee(ctx, cfg, 0) }
+					}
+				} else {
+					cfg := csa.DefaultSmallConfig(p, memberR)
+					budget = cfg.SlotBudget(p)
+					progs[0] = func(ctx *sim.Ctx) { est = csa.RunSmallDominator(ctx, cfg) }
+					for i := 1; i < size; i++ {
+						progs[i] = func(ctx *sim.Ctx) { csa.RunSmallDominatee(ctx, cfg, 0) }
+					}
+				}
+				if _, err := e.Run(progs); err != nil {
+					return nil, err
+				}
+				ratios = append(ratios, float64(est)/float64(size))
+			}
+			t.AddRow(stats.I(size), variant, stats.F(stats.Median(ratios)), stats.I(budget))
+		}
+	}
+	t.AddNote("seeds=%d; est/truth should sit in a constant band; small variant budget beats large when Δ̂ ≤ F·polylog n", o.seeds())
+	return t, nil
+}
+
+// E7StructureBuild reports structure-construction cost and quality as n
+// grows (Theorem 10's O(log² n) shape, plus backbone quality).
+func E7StructureBuild(o Options) (*stats.Table, error) {
+	ns := []int{64, 128, 256, 512}
+	if o.Quick {
+		ns = []int{48, 96}
+	}
+	t := stats.NewTable("E7: structure construction",
+		"n", "build_slots", "dominate", "color", "csa", "elect", "covered")
+	for _, n := range ns {
+		p := model.Default(8, n)
+		cfg := core.DefaultConfig(p)
+		cfg.DeltaHat = n
+		pl := core.NewPlan(p, cfg)
+		o1 := pl.Offsets
+		covered := "-"
+		// One live run for coverage (cheap at small n, skipped at large).
+		if n <= 128 {
+			pos := Crowd(p, n, uint64(n))
+			e := sim.NewEngine(phy.NewField(p, pos), uint64(n)*3)
+			res, err := core.Run(e, pl, make([]int64, n), agg.Sum, 1)
+			if err != nil {
+				return nil, err
+			}
+			good := 0
+			for i, r := range res {
+				if r.Dominator >= 0 && pos[i].Dist(pos[r.Dominator]) <= p.ClusterRadius() {
+					good++
+				}
+			}
+			covered = pct(good, n)
+		}
+		t.AddRow(stats.I(n), stats.I(o1.Followers),
+			stats.I(o1.Color-o1.Dominate), stats.I(o1.Announce-o1.Color),
+			stats.I(o1.Elect-o1.CSA), stats.I(o1.Followers-o1.Elect), covered)
+	}
+	t.AddNote("build_slots = stages 1-5 budget; expect polylog growth in n")
+	return t, nil
+}
+
+// E8ExponentialChain verifies the Sec. 1 lower-bound instance: on the
+// exponential chain with uniform power, transmissions along the chain
+// toward the sink (the aggregation direction) serialize — any lower sender
+// injects interference at least equal to the signal at every higher
+// receiver, so at most one addressed link can decode per slot — while a
+// uniform line enjoys Θ(n) spatial reuse.
+func E8ExponentialChain(o Options) (*stats.Table, error) {
+	n := 24
+	slots := 400
+	if o.Quick {
+		n, slots = 16, 120
+	}
+	t := stats.NewTable("E8: exponential chain serialization (sink-directed links)",
+		"topology", "slots", "max_parallel_links", "mean_links")
+	type linkMsg struct{ To int }
+	run := func(name string, pos []geo.Point, span float64) error {
+		p := model.Default(1, n)
+		// β = 1.5 ≥ 2^{1/3} ≈ 1.26: the lemma's condition holds. The
+		// uniform power is raised so R_T covers the whole instance (the
+		// paper's chain assumes every pair is in range absent interference).
+		p.Power = p.Beta * p.Noise * math.Pow(span, p.Alpha)
+		e := sim.NewEngine(phy.NewField(p, pos), 9)
+		maxPar, total := 0, 0
+		e.Trace = func(_ int, _ []phy.Tx, rxs []phy.Rx, recs []phy.Reception) {
+			// Count links whose ADDRESSED receiver decoded the sender.
+			links := 0
+			for k, r := range recs {
+				if m, ok := r.Msg.(linkMsg); r.Decoded && ok && m.To == rxs[k].Node {
+					links++
+				}
+			}
+			total += links
+			if links > maxPar {
+				maxPar = links
+			}
+		}
+		progs := make([]sim.Program, n)
+		for i := range progs {
+			progs[i] = func(ctx *sim.Ctx) {
+				for s := 0; s < slots; s++ {
+					// Send to the next node toward the sink (index 0).
+					if ctx.ID() > 0 && ctx.Rand.Float64() < 0.5 {
+						ctx.Transmit(0, linkMsg{To: ctx.ID() - 1})
+					} else {
+						ctx.Listen(0)
+					}
+				}
+			}
+		}
+		if _, err := e.Run(progs); err != nil {
+			return err
+		}
+		t.AddRow(name, stats.I(slots), stats.I(maxPar),
+			stats.F(float64(total)/float64(slots)))
+		return nil
+	}
+	if err := run("exponential chain x_i=2^i", topology.ExponentialChain(n, 1),
+		math.Pow(2, float64(n+1))); err != nil {
+		return nil, err
+	}
+	// Control: a uniform line under the default range-1 power, where
+	// spatial reuse allows many parallel successes.
+	if err := run("uniform line (control)", topology.Line(n, 0.5), 1); err != nil {
+		return nil, err
+	}
+	t.AddNote("sink-directed links on the chain serialize to ≤ 1 per slot ([25]): aggregating n values needs Ω(n) = Ω(Δ) slots at F=1, the term that F channels divide")
+	return t, nil
+}
+
+// E9Backbone measures dominating-set and cluster-coloring quality on sparse
+// fields (Lemmas 7–8: constant density, O(1) colors).
+func E9Backbone(o Options) (*stats.Table, error) {
+	ns := []int{64, 128, 256}
+	if o.Quick {
+		ns = []int{48, 96}
+	}
+	t := stats.NewTable("E9: backbone quality (sparse fields, target degree 12)",
+		"n", "dominators", "density", "self_appointed", "uncovered", "colors", "conflicts")
+	for _, n := range ns {
+		var doms, dens, selfs, uncov, colors, confl []float64
+		for s := 0; s < o.seeds(); s++ {
+			p := model.Default(4, n)
+			rnd := newRand(uint64(900*n + s))
+			pos := topology.UniformDegree(rnd, n, p.REps(), 12)
+			rc := p.ClusterRadius()
+			dcfg := dominate.DefaultConfig(rc, 0)
+			e := sim.NewEngine(phy.NewField(p, pos), uint64(s+41))
+			dout := make([]dominate.Outcome, n)
+			progs := make([]sim.Program, n)
+			for i := range progs {
+				i := i
+				progs[i] = func(ctx *sim.Ctx) { dout[i] = dominate.Run(ctx, dcfg) }
+			}
+			if _, err := e.Run(progs); err != nil {
+				return nil, err
+			}
+			st := dominate.Analyze(pos, dout, rc)
+			doms = append(doms, float64(st.Dominators))
+			dens = append(dens, float64(st.MaxDensity))
+			selfs = append(selfs, float64(st.SelfAppointed))
+			uncov = append(uncov, float64(st.Uncovered))
+
+			// Color the dominators.
+			ccfg := backbone.DefaultColorConfig(p, 32)
+			e2 := sim.NewEngine(phy.NewField(p, pos), uint64(s+61))
+			cout := make([]backbone.ColorOutcome, n)
+			progs2 := make([]sim.Program, n)
+			for i := range progs2 {
+				i := i
+				if dout[i].IsDominator {
+					progs2[i] = func(ctx *sim.Ctx) { cout[i] = backbone.RunColor(ctx, ccfg) }
+				} else {
+					progs2[i] = func(ctx *sim.Ctx) { backbone.IdleColor(ctx, ccfg) }
+				}
+			}
+			if _, err := e2.Run(progs2); err != nil {
+				return nil, err
+			}
+			maxColor, conflicts := 0, 0
+			for i := range pos {
+				if !dout[i].IsDominator {
+					continue
+				}
+				if cout[i].Color+1 > maxColor {
+					maxColor = cout[i].Color + 1
+				}
+				for j := i + 1; j < n; j++ {
+					if dout[j].IsDominator && cout[i].Color == cout[j].Color &&
+						pos[i].Dist(pos[j]) <= ccfg.Radius {
+						conflicts++
+					}
+				}
+			}
+			colors = append(colors, float64(maxColor))
+			confl = append(confl, float64(conflicts))
+		}
+		t.AddRow(stats.I(n), stats.F1(stats.Median(doms)), stats.F1(stats.Median(dens)),
+			stats.F1(stats.Median(selfs)), stats.F1(stats.Median(uncov)),
+			stats.F1(stats.Median(colors)), stats.F1(stats.Median(confl)))
+	}
+	t.AddNote("seeds=%d; density and colors should stay flat (O(1)) as n grows", o.seeds())
+	return t, nil
+}
+
+// E10DiameterTerm measures aggregation latency on corridors of growing
+// diameter: the D term of Theorem 22.
+func E10DiameterTerm(o Options) (*stats.Table, error) {
+	lengths := []int{3, 6, 9, 12}
+	if o.Quick {
+		lengths = []int{3, 5}
+	}
+	t := stats.NewTable("E10: diameter term (corridors, F=4)",
+		"length", "n", "diam", "cast_delay", "agg_slots", "informed")
+	for _, L := range lengths {
+		n := 8 * L
+		var delays, aggs []float64
+		informed, total, diam := 0, 0, 0
+		for s := 0; s < o.seeds(); s++ {
+			p := model.Default(4, n)
+			rnd := newRand(uint64(1100*L + s))
+			pos := topology.Corridor(rnd, n, float64(L)*p.REps(), 0.6*p.REps())
+			g := graph.Build(pos, p.REps())
+			if !g.Connected() {
+				continue
+			}
+			values, _ := sequentialValues(n)
+			cfg := core.DefaultConfig(p)
+			cfg.DeltaHat = 24
+			cfg.PhiMax = 24
+			cfg.HopBound = 3*L + 6
+			m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(1200*L+s))
+			if err != nil {
+				return nil, err
+			}
+			delays = append(delays, float64(m.CastDelay))
+			aggs = append(aggs, float64(m.AggSlots))
+			informed += m.Informed
+			total += m.N
+			if m.Diam > diam {
+				diam = m.Diam
+			}
+		}
+		t.AddRow(stats.I(L), stats.I(n), stats.I(diam),
+			stats.F1(stats.Median(delays)), stats.F1(stats.Median(aggs)),
+			pct(informed, total))
+	}
+	t.AddNote("seeds=%d; cast_delay = backbone convergecast completion, expect ≈ linear in diam", o.seeds())
+	return t, nil
+}
+
+// All runs every experiment and returns the tables in order.
+func All(o Options) ([]*stats.Table, error) {
+	runners := []func(Options) (*stats.Table, error){
+		E1SpeedupVsChannels, E2AggVsN, E3Baselines, E4Coloring, E5RulingSet,
+		E6CSA, E7StructureBuild, E8ExponentialChain, E9Backbone, E10DiameterTerm,
+	}
+	var out []*stats.Table
+	for _, r := range runners {
+		tb, err := r(o)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}
+
+// ByName returns the runner for an experiment ID ("e1".."e10", "all").
+func ByName(name string) (func(Options) (*stats.Table, error), bool) {
+	m := map[string]func(Options) (*stats.Table, error){
+		"e1": E1SpeedupVsChannels, "e2": E2AggVsN, "e3": E3Baselines,
+		"e4": E4Coloring, "e5": E5RulingSet, "e6": E6CSA,
+		"e7": E7StructureBuild, "e8": E8ExponentialChain,
+		"e9": E9Backbone, "e10": E10DiameterTerm,
+		"a1": A1BackoffAblation, "a2": A2TDMAAblation,
+		"a3": A3ChannelSpreadAblation,
+	}
+	f, ok := m[name]
+	return f, ok
+}

@@ -1,0 +1,150 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment runners are exercised in Quick mode with one seed: these
+// are smoke-and-shape tests; the full-size sweeps run via cmd/mcagg and the
+// benchmarks.
+
+func quick() Options { return Options{Seeds: 1, Quick: true} }
+
+func TestE1Quick(t *testing.T) {
+	tb, err := E1SpeedupVsChannels(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "F") || !strings.Contains(out, "speedup") {
+		t.Errorf("table missing columns:\n%s", out)
+	}
+}
+
+func TestE2Quick(t *testing.T) {
+	tb, err := E2AggVsN(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE3Quick(t *testing.T) {
+	tb, err := E3Baselines(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE4Quick(t *testing.T) {
+	tb, err := E4Coloring(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE5Quick(t *testing.T) {
+	tb, err := E5RulingSet(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Validity columns must be zero.
+	for _, row := range tb.Rows {
+		if row[3] != "0" || row[4] != "0" {
+			t.Errorf("ruling set validity violated: %v", row)
+		}
+	}
+}
+
+func TestE6Quick(t *testing.T) {
+	tb, err := E6CSA(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE7Quick(t *testing.T) {
+	tb, err := E7StructureBuild(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE8Quick(t *testing.T) {
+	tb, err := E8ExponentialChain(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Sink-directed links on the exponential chain must serialize to at
+	// most one per slot, while the control line allows many in parallel.
+	chain, err1 := strconv.Atoi(tb.Rows[0][2])
+	line, err2 := strconv.Atoi(tb.Rows[1][2])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparsable cells: %v %v", tb.Rows[0], tb.Rows[1])
+	}
+	if chain > 1 {
+		t.Errorf("exponential chain parallel links = %d, want ≤ 1", chain)
+	}
+	if line <= chain {
+		t.Errorf("control line (%d) should beat the chain (%d)", line, chain)
+	}
+}
+
+func TestE9Quick(t *testing.T) {
+	tb, err := E9Backbone(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestE10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corridor runs are slow")
+	}
+	tb, err := E10DiameterTerm(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"e1", "e5", "e10"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) missing", name)
+		}
+	}
+	if _, ok := ByName("e99"); ok {
+		t.Error("ByName should reject unknown IDs")
+	}
+}

@@ -1,0 +1,13 @@
+package expt
+
+import (
+	"math/rand"
+
+	"mcnet/internal/rng"
+)
+
+// newRand derives a topology-generation stream from an experiment seed,
+// kept separate from the protocol seed space.
+func newRand(seed uint64) *rand.Rand {
+	return rng.New(rng.Mix(seed, 0x70706f6c6f6779)) // "topology"
+}

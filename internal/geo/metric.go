@@ -1,0 +1,23 @@
+package geo
+
+import "math"
+
+// Metric is a distance function on the plane. The paper's results hold in
+// any "fading metric" — a metric whose doubling dimension is strictly below
+// the path-loss exponent α (footnote 1; see also [12]). Every norm-induced
+// plane metric has doubling dimension 2, so with the default α = 3 all of
+// the metrics below are fading.
+type Metric func(p, q Point) float64
+
+// Euclidean is the default L2 metric.
+func Euclidean(p, q Point) float64 { return p.Dist(q) }
+
+// Manhattan is the L1 ("street grid") metric.
+func Manhattan(p, q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Chebyshev is the L∞ metric.
+func Chebyshev(p, q Point) float64 {
+	return math.Max(math.Abs(p.X-q.X), math.Abs(p.Y-q.Y))
+}

@@ -1,0 +1,170 @@
+// Package graph builds and analyzes the communication graph G = (V, E) of
+// Sec. 2: nodes are linked when their distance is at most R_ε = (1-ε)·R_T.
+// The graph is measurement infrastructure — protocols never see it — used to
+// compute the paper's parameters Δ (max degree) and D (diameter) for
+// reporting, and to verify structural properties in tests.
+package graph
+
+import (
+	"mcnet/internal/geo"
+)
+
+// G is an undirected communication graph over indexed nodes.
+type G struct {
+	n   int
+	adj [][]int32
+}
+
+// Build links every pair of points within the given radius (excluding
+// self-loops) using a spatial grid, in O(n + m) expected time.
+func Build(pos []geo.Point, radius float64) *G {
+	g := &G{n: len(pos), adj: make([][]int32, len(pos))}
+	if len(pos) == 0 {
+		return g
+	}
+	grid := geo.NewGrid(pos, radius)
+	for i, p := range pos {
+		grid.ForNeighbors(p, radius, func(j int) bool {
+			if j != i {
+				g.adj[i] = append(g.adj[i], int32(j))
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *G) N() int { return g.n }
+
+// Degree returns the degree of node i.
+func (g *G) Degree(i int) int { return len(g.adj[i]) }
+
+// Neighbors returns node i's adjacency list (shared; do not mutate).
+func (g *G) Neighbors(i int) []int32 { return g.adj[i] }
+
+// MaxDegree returns Δ, the maximum degree.
+func (g *G) MaxDegree() int {
+	max := 0
+	for i := 0; i < g.n; i++ {
+		if d := len(g.adj[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the mean degree.
+func (g *G) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < g.n; i++ {
+		total += len(g.adj[i])
+	}
+	return float64(total) / float64(g.n)
+}
+
+// BFS returns hop distances from src; unreachable nodes get -1.
+func (g *G) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (vacuously true for
+// n ≤ 1).
+func (g *G) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	for _, d := range g.BFS(0) {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum finite BFS distance from src and whether
+// all nodes were reachable.
+func (g *G) Eccentricity(src int) (ecc int, allReachable bool) {
+	allReachable = true
+	for _, d := range g.BFS(src) {
+		if d == -1 {
+			allReachable = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, allReachable
+}
+
+// Diameter returns D, the maximum over pairs of the shortest hop distance,
+// computed exactly by BFS from every node. Returns -1 for disconnected
+// graphs.
+func (g *G) Diameter() int {
+	if g.n == 0 {
+		return 0
+	}
+	diam := 0
+	for i := 0; i < g.n; i++ {
+		ecc, ok := g.Eccentricity(i)
+		if !ok {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// DiameterApprox returns a 2-approximation of D in O(n + m) time (double
+// BFS), for large graphs where the exact computation is too slow. The
+// returned value is between D/2 and D... precisely, it is at least
+// max-eccentricity/1 from the second BFS, which is ≥ D/2.
+func (g *G) DiameterApprox() int {
+	if g.n == 0 {
+		return 0
+	}
+	far, ok := furthest(g.BFS(0))
+	if !ok {
+		return -1
+	}
+	ecc, ok2 := g.Eccentricity(far)
+	if !ok2 {
+		return -1
+	}
+	return ecc
+}
+
+func furthest(dist []int) (int, bool) {
+	best, bestD := 0, -1
+	for i, d := range dist {
+		if d == -1 {
+			return 0, false
+		}
+		if d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcnet/internal/geo"
+	"mcnet/internal/topology"
+)
+
+func TestBuildLine(t *testing.T) {
+	pos := topology.Line(5, 1)
+	g := Build(pos, 1.0)
+	if g.N() != 5 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Interior nodes have 2 neighbors, endpoints 1.
+	wantDeg := []int{1, 2, 2, 2, 1}
+	for i, w := range wantDeg {
+		if g.Degree(i) != w {
+			t.Errorf("degree(%d) = %d, want %d", i, g.Degree(i), w)
+		}
+	}
+	if g.MaxDegree() != 2 {
+		t.Errorf("Δ = %d, want 2", g.MaxDegree())
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Errorf("D = %d, want 4", d)
+	}
+	if !g.Connected() {
+		t.Error("line should be connected")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	pos := []geo.Point{{X: 0}, {X: 10}}
+	g := Build(pos, 1)
+	if g.Connected() {
+		t.Error("far pair should be disconnected")
+	}
+	if g.Diameter() != -1 {
+		t.Error("diameter of disconnected graph should be -1")
+	}
+	if g.DiameterApprox() != -1 {
+		t.Error("approx diameter of disconnected graph should be -1")
+	}
+	if _, ok := g.Eccentricity(0); ok {
+		t.Error("eccentricity should report unreachable nodes")
+	}
+}
+
+func TestBFS(t *testing.T) {
+	pos := topology.Line(4, 1)
+	g := Build(pos, 1)
+	dist := g.BFS(1)
+	want := []int{1, 0, 1, 2}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pos := topology.Uniform(r, 200, 10, 10)
+	g := Build(pos, 1.5)
+	for i := 0; i < g.N(); i++ {
+		for _, j := range g.Neighbors(i) {
+			found := false
+			for _, k := range g.Neighbors(int(j)) {
+				if int(k) == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) not symmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestEdgesMatchDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pos := topology.Uniform(r, 100, 5, 5)
+	radius := 1.0
+	g := Build(pos, radius)
+	adj := make(map[[2]int]bool)
+	for i := 0; i < g.N(); i++ {
+		for _, j := range g.Neighbors(i) {
+			adj[[2]int{i, int(j)}] = true
+		}
+	}
+	for i := range pos {
+		for j := range pos {
+			if i == j {
+				continue
+			}
+			want := pos[i].Dist(pos[j]) <= radius
+			if adj[[2]int{i, j}] != want {
+				t.Fatalf("edge (%d,%d): got %v, want %v", i, j, adj[[2]int{i, j}], want)
+			}
+		}
+	}
+}
+
+func TestDiameterApproxBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		pos := topology.Corridor(r, 120, 20, 0.8)
+		g := Build(pos, 1)
+		if !g.Connected() {
+			continue
+		}
+		exact := g.Diameter()
+		approx := g.DiameterApprox()
+		if approx > exact || approx*2 < exact {
+			t.Errorf("approx %d outside [%d/2, %d]", approx, exact, exact)
+		}
+	}
+}
+
+func TestRingDiameter(t *testing.T) {
+	// 12 points on a circle of radius 2: arc neighbors only.
+	pos := topology.Ring(12, 2)
+	g := Build(pos, 1.1)
+	if !g.Connected() {
+		t.Fatal("ring should connect")
+	}
+	if d := g.Diameter(); d != 6 {
+		t.Errorf("ring diameter = %d, want 6", d)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	g := Build(nil, 1)
+	if g.N() != 0 || g.Diameter() != 0 || !g.Connected() {
+		t.Error("empty graph invariants")
+	}
+	g = Build([]geo.Point{{X: 1, Y: 1}}, 1)
+	if g.N() != 1 || g.MaxDegree() != 0 || !g.Connected() || g.Diameter() != 0 {
+		t.Error("singleton invariants")
+	}
+	if g.AvgDegree() != 0 {
+		t.Error("singleton avg degree")
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	pos := topology.Line(3, 1)
+	g := Build(pos, 1)
+	if got := g.AvgDegree(); got != 4.0/3 {
+		t.Errorf("avg degree = %v", got)
+	}
+}

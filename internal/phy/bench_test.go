@@ -1,0 +1,38 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+)
+
+// benchSlot builds a slot with n nodes, txFrac of them transmitting across
+// the given channels, and resolves it.
+func benchSlot(b *testing.B, n, channels int, txFrac float64) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: r.Float64() * 5, Y: r.Float64() * 5}
+	}
+	f := NewField(model.Default(channels, n), pos)
+	var txs []Tx
+	var rxs []Rx
+	for i := 0; i < n; i++ {
+		if r.Float64() < txFrac {
+			txs = append(txs, Tx{Node: i, Channel: r.Intn(channels), Msg: i})
+		} else {
+			rxs = append(rxs, Rx{Node: i, Channel: r.Intn(channels)})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Resolve(txs, rxs)
+	}
+}
+
+func BenchmarkResolve256Nodes1Channel(b *testing.B)  { benchSlot(b, 256, 1, 0.2) }
+func BenchmarkResolve256Nodes8Channels(b *testing.B) { benchSlot(b, 256, 8, 0.2) }
+func BenchmarkResolve1kNodes8Channels(b *testing.B)  { benchSlot(b, 1024, 8, 0.2) }

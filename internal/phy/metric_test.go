@@ -1,0 +1,61 @@
+package phy
+
+import (
+	"testing"
+
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+)
+
+func TestManhattanMetricChangesReach(t *testing.T) {
+	// Diagonal neighbor at Euclidean distance ~0.99 (in range) but L1
+	// distance 1.4 (out of range): the metric must decide.
+	p := model.Default(1, 64)
+	pos := []geo.Point{{X: 0, Y: 0}, {X: 0.7, Y: 0.7}}
+	txs := []Tx{{Node: 0, Channel: 0, Msg: 1}}
+	rxs := []Rx{{Node: 1, Channel: 0}}
+
+	l2 := NewField(p, pos).Resolve(txs, rxs)[0]
+	if !l2.Decoded {
+		t.Fatal("Euclidean: diagonal neighbor should decode")
+	}
+	l1 := NewFieldMetric(p, pos, geo.Manhattan).Resolve(txs, rxs)[0]
+	if l1.Decoded {
+		t.Fatal("Manhattan: diagonal neighbor beyond L1 range should not decode")
+	}
+	linf := NewFieldMetric(p, pos, geo.Chebyshev).Resolve(txs, rxs)[0]
+	if !linf.Decoded {
+		t.Fatal("Chebyshev: diagonal neighbor at L∞ distance 0.7 should decode")
+	}
+}
+
+func TestNilMetricDefaultsToEuclidean(t *testing.T) {
+	p := model.Default(1, 64)
+	pos := []geo.Point{{X: 0}, {X: 0.5}}
+	f := NewFieldMetric(p, pos, nil)
+	rec := f.Resolve([]Tx{{Node: 0, Channel: 0, Msg: 1}}, []Rx{{Node: 1, Channel: 0}})[0]
+	if !rec.Decoded {
+		t.Fatal("nil metric should fall back to Euclidean")
+	}
+}
+
+func TestMetricSymmetryProperties(t *testing.T) {
+	pts := []geo.Point{{X: 1, Y: 2}, {X: -3, Y: 0.5}, {X: 0, Y: 0}}
+	for _, m := range []geo.Metric{geo.Euclidean, geo.Manhattan, geo.Chebyshev} {
+		for _, a := range pts {
+			if m(a, a) != 0 {
+				t.Error("d(a,a) != 0")
+			}
+			for _, b := range pts {
+				if m(a, b) != m(b, a) {
+					t.Error("metric not symmetric")
+				}
+				for _, c := range pts {
+					if m(a, c) > m(a, b)+m(b, c)+1e-12 {
+						t.Error("triangle inequality violated")
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package phy implements the SINR physical layer: given the set of nodes
+// transmitting and listening on each channel in a slot, it decides which
+// messages are decoded and what signal strengths every listener measures.
+//
+// The decoding rule is the paper's Eq. (1): listener v decodes the message
+// of transmitter u iff they share a channel, v is not transmitting, and
+//
+//	P/d(u,v)^α / (N + Σ_{w≠u} P/d(w,v)^α) ≥ β.
+//
+// Since β ≥ 1, at most one transmitter (the strongest) can satisfy the
+// condition, so resolution tests only the strongest signal at each listener.
+//
+// Listeners always measure total received power (the RSSI primitive of
+// Sec. 2), which upper layers use for carrier sense, clear-reception
+// detection (Definition 4) and distance estimation.
+package phy
+
+import (
+	"math"
+
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+)
+
+// Tx describes one transmission in a slot.
+type Tx struct {
+	Node    int
+	Channel int
+	Msg     any
+}
+
+// Rx describes one listening node in a slot.
+type Rx struct {
+	Node    int
+	Channel int
+}
+
+// Reception is what a listener observes at the end of a slot.
+type Reception struct {
+	// Decoded reports whether a message was successfully received.
+	Decoded bool
+	// From is the sender's node index when Decoded, else -1.
+	From int
+	// Msg is the decoded message when Decoded, else nil.
+	Msg any
+	// SignalPower is the received power of the decoded transmission
+	// (0 when nothing was decoded).
+	SignalPower float64
+	// Interference is the summed received power of all transmissions other
+	// than the decoded one. When nothing was decoded this is the total
+	// received power. Ambient noise is not included.
+	Interference float64
+	// SINR is SignalPower / (N + Interference) when Decoded, else 0.
+	SINR float64
+}
+
+// RSSI returns the total measured power including the decoded signal but
+// excluding ambient noise.
+func (r Reception) RSSI() float64 { return r.SignalPower + r.Interference }
+
+// Field resolves slots for a fixed node placement under fixed parameters.
+type Field struct {
+	params model.Params
+	pos    []geo.Point
+	dist   geo.Metric
+	jammed []bool
+
+	// perChannel is reusable scratch space: transmitter indices by channel.
+	perChannel [][]int
+}
+
+// NewField creates a resolver for the given placement under the Euclidean
+// metric. The position slice is retained; callers must not mutate it during
+// use.
+func NewField(p model.Params, pos []geo.Point) *Field {
+	return NewFieldMetric(p, pos, geo.Euclidean)
+}
+
+// NewFieldMetric creates a resolver under an arbitrary fading metric
+// (footnote 1 of the paper: the results extend to metrics whose doubling
+// dimension is below α). Protocols are metric-agnostic — they only observe
+// received powers — so the whole stack runs unchanged.
+func NewFieldMetric(p model.Params, pos []geo.Point, m geo.Metric) *Field {
+	if m == nil {
+		m = geo.Euclidean
+	}
+	return &Field{
+		params:     p,
+		pos:        pos,
+		dist:       m,
+		jammed:     make([]bool, p.Channels),
+		perChannel: make([][]int, p.Channels),
+	}
+}
+
+// Jam marks a channel as disrupted (the adversarial setting of the paper's
+// reference [9]): nothing decodes on it, but listeners still sense the
+// power, as a real jammer would present. Jamming can be toggled between
+// slots.
+func (f *Field) Jam(channel int, jam bool) {
+	f.jammed[channel] = jam
+}
+
+// Params returns the model parameters of the field.
+func (f *Field) Params() model.Params { return f.params }
+
+// Positions returns the node placement (shared; do not mutate).
+func (f *Field) Positions() []geo.Point { return f.pos }
+
+// N returns the number of nodes in the field.
+func (f *Field) N() int { return len(f.pos) }
+
+// Resolve computes the reception outcome for every listener given the
+// transmissions of one slot. The returned slice is parallel to rxs.
+//
+// Channels are numbered 0..F-1; transmissions or listens on out-of-range
+// channels panic, as they indicate a protocol bug.
+func (f *Field) Resolve(txs []Tx, rxs []Rx) []Reception {
+	for c := range f.perChannel {
+		f.perChannel[c] = f.perChannel[c][:0]
+	}
+	for i, tx := range txs {
+		if tx.Channel < 0 || tx.Channel >= f.params.Channels {
+			panic("phy: transmission on invalid channel")
+		}
+		f.perChannel[tx.Channel] = append(f.perChannel[tx.Channel], i)
+	}
+
+	out := make([]Reception, len(rxs))
+	for i, rx := range rxs {
+		if rx.Channel < 0 || rx.Channel >= f.params.Channels {
+			panic("phy: listen on invalid channel")
+		}
+		out[i] = f.resolveOne(rx, txs, f.perChannel[rx.Channel])
+		if f.jammed[rx.Channel] && out[i].Decoded {
+			// A jammed channel delivers nothing; the signal is still sensed.
+			out[i].Interference += out[i].SignalPower
+			out[i].Decoded, out[i].From, out[i].Msg = false, -1, nil
+			out[i].SignalPower, out[i].SINR = 0, 0
+		}
+	}
+	return out
+}
+
+func (f *Field) resolveOne(rx Rx, txs []Tx, chTxs []int) Reception {
+	rec := Reception{From: -1}
+	listener := f.pos[rx.Node]
+
+	var (
+		total    float64
+		best     = -1
+		bestPow  float64
+		infCount int
+	)
+	for _, ti := range chTxs {
+		tx := txs[ti]
+		if tx.Node == rx.Node {
+			// A node cannot hear anything while transmitting; the engine
+			// never submits both, but be safe.
+			continue
+		}
+		pw := f.params.PowerAtDistance(f.dist(listener, f.pos[tx.Node]))
+		if math.IsInf(pw, 1) {
+			infCount++
+		}
+		total += pw
+		if best == -1 || pw > bestPow {
+			best, bestPow = ti, pw
+		}
+	}
+	if best == -1 {
+		return rec
+	}
+	rec.Interference = total - bestPow
+	if infCount > 1 || (infCount == 1 && !math.IsInf(bestPow, 1)) {
+		// Co-located interferers: nothing is decodable.
+		rec.Interference = total
+		return rec
+	}
+	sinr := bestPow / (f.params.Noise + rec.Interference)
+	if sinr >= f.params.Beta {
+		rec.Decoded = true
+		rec.From = txs[best].Node
+		rec.Msg = txs[best].Msg
+		rec.SignalPower = bestPow
+		rec.SINR = sinr
+		return rec
+	}
+	// Not decoded: the listener still senses all the power.
+	rec.Interference = total
+	return rec
+}
+
+// Clear reports whether rec is a "clear reception" for radius r in the sense
+// of Definition 4: a message was decoded, it originated within distance r
+// (judged from received power), and the sensed interference certifies that
+// no other node within 4r of the receiver transmitted.
+//
+// The certificate uses the maximal admissible threshold P/(4r)^α rather
+// than the paper's (much smaller) constant T_s; see
+// model.Params.ClearInterferenceBound and deviation D6 in DESIGN.md.
+func Clear(rec Reception, p model.Params, r float64) bool {
+	if !rec.Decoded {
+		return false
+	}
+	if rec.SignalPower < p.PowerAtDistance(r) {
+		return false // sender farther than r
+	}
+	return rec.Interference < p.ClearInterferenceBound(r)
+}
+
+// SenderWithin reports whether the decoded sender lies within distance r of
+// the receiver, judged from received power (exact under the deterministic
+// path-loss law).
+func SenderWithin(rec Reception, p model.Params, r float64) bool {
+	return rec.Decoded && rec.SignalPower >= p.PowerAtDistance(r)
+}

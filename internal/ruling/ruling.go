@@ -1,0 +1,226 @@
+// Package ruling implements the (r, 2r)-ruling set algorithm of Sec. 4
+// (second phase): given a set of participants whose density within r-balls
+// is bounded by µ, it computes a subset S that is r-independent and
+// 2r-dominates the participants, in O(log n) three-slot rounds w.h.p.
+//
+// Each round has three slots on one channel:
+//
+//	Slot 1 — HELLO: each active participant transmits HELLO(id) with
+//	         probability 1/(2µ); others listen.
+//	Slot 2 — ACK: a node with a *clear reception* (Definition 4) of a HELLO
+//	         from an r-neighbor transmits ACK(sender) with probability
+//	         AckProb; the HELLO sender listens.
+//	Slot 3 — IN: a HELLO sender that received an ACK addressed to it from an
+//	         r-neighbor joins S, announces IN(id) and halts. Everyone else
+//	         listens; receiving IN from an r-neighbor halts the node
+//	         (it is dominated, Lemma 5). Participants still active after all
+//	         rounds join S.
+//
+// The implementation is a composable stage: Run consumes exactly
+// Config.SlotBudget slots of its sim.Ctx, padding with idle slots after the
+// node halts, so staged pipelines stay slot-aligned. Stride/Offset interleave
+// independent executions under the cluster TDMA scheme of Sec. 5.1.2.
+package ruling
+
+import (
+	"math"
+
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+)
+
+// Hello is the slot-1 probe message.
+type Hello struct {
+	From int
+}
+
+// Ack is the slot-2 response addressed to a HELLO sender.
+type Ack struct {
+	To int
+}
+
+// In is the slot-3 announcement of a node joining the ruling set.
+type In struct {
+	From int
+}
+
+// Config parameterizes one ruling-set execution.
+type Config struct {
+	// R is the independence radius r ≤ R_T/2.
+	R float64
+	// Channel all participants operate on.
+	Channel int
+	// Mu is the assumed density bound µ; the HELLO probability is 1/(2µ).
+	Mu float64
+	// AckProb is the slot-2 acknowledgement probability. The paper uses
+	// 1/(2µ) as well; 1/2 is a practical default since clear receivers of
+	// distinct HELLOs are already spatially sparse (deviation D1).
+	AckProb float64
+	// RoundFactor scales the round count: rounds = ceil(RoundFactor·ln n̂).
+	RoundFactor float64
+	// Stride and Offset interleave executions under the cluster TDMA
+	// scheme: a node runs its 3 protocol slots in sub-block Offset of each
+	// 3·Stride-slot block. Stride 0 means 1 (no interleaving).
+	Stride, Offset int
+}
+
+// DefaultConfig returns the practical configuration used by the pipeline for
+// a ruling set of radius r on the given channel.
+func DefaultConfig(r float64, channel int) Config {
+	return Config{
+		R:           r,
+		Channel:     channel,
+		Mu:          3,
+		AckProb:     0.5,
+		RoundFactor: 14,
+		Stride:      1,
+	}
+}
+
+func (c Config) stride() int {
+	if c.Stride < 1 {
+		return 1
+	}
+	return c.Stride
+}
+
+// Rounds returns the number of protocol rounds for the given parameters.
+func (c Config) Rounds(p model.Params) int {
+	return int(math.Ceil(c.RoundFactor * p.LogN()))
+}
+
+// SlotBudget returns the exact number of simulator slots Run and Idle
+// consume: 3 slots per round per stride sub-block.
+func (c Config) SlotBudget(p model.Params) int {
+	return 3 * c.stride() * c.Rounds(p)
+}
+
+// Outcome is the per-node result of a ruling-set execution.
+type Outcome struct {
+	// InSet reports whether the node joined the ruling set S.
+	InSet bool
+	// DominatedBy is the ID of the IN announcer that silenced this node, or
+	// -1 (nodes in S, and nodes that joined by surviving all rounds).
+	DominatedBy int
+	// JoinRound is the protocol round in which the node's fate was decided
+	// (rounds count from 0; survivors report the total round count).
+	JoinRound int
+}
+
+// Idle consumes the stage's slot budget without participating. Non-members
+// of the current TDMA color class (and non-participants generally) call this
+// to stay aligned.
+func Idle(ctx *sim.Ctx, cfg Config) {
+	ctx.IdleFor(cfg.SlotBudget(ctx.Params()))
+}
+
+// Run executes the participant side of the ruling-set protocol and returns
+// the node's outcome. It consumes exactly cfg.SlotBudget slots.
+func Run(ctx *sim.Ctx, cfg Config) Outcome {
+	var (
+		p        = ctx.Params()
+		rounds   = cfg.Rounds(p)
+		stride   = cfg.stride()
+		helloPr  = 1 / (2 * cfg.Mu)
+		out      = Outcome{DominatedBy: -1, JoinRound: rounds}
+		active   = true
+		slotUsed = 0
+	)
+	budget := cfg.SlotBudget(p)
+	defer func() {
+		// Pad to the fixed stage length.
+		ctx.IdleFor(budget - slotUsed)
+	}()
+
+	for round := 0; round < rounds && active; round++ {
+		slotUsed += 3 * stride
+		ctx.IdleFor(3 * cfg.Offset)
+
+		// Slot 1: HELLO.
+		sentHello := ctx.Rand.Float64() < helloPr
+		var clearFrom = -1
+		if sentHello {
+			ctx.Transmit(cfg.Channel, Hello{From: ctx.ID()})
+		} else {
+			rec := ctx.Listen(cfg.Channel)
+			if h, ok := rec.Msg.(Hello); ok && phy.Clear(rec, p, cfg.R) {
+				clearFrom = h.From
+			}
+		}
+
+		// Slot 2: ACK.
+		gotAck := false
+		switch {
+		case sentHello:
+			rec := ctx.Listen(cfg.Channel)
+			if a, ok := rec.Msg.(Ack); ok && a.To == ctx.ID() &&
+				phy.SenderWithin(rec, p, cfg.R) {
+				gotAck = true
+			}
+		case clearFrom >= 0 && ctx.Rand.Float64() < cfg.AckProb:
+			ctx.Transmit(cfg.Channel, Ack{To: clearFrom})
+		default:
+			ctx.Listen(cfg.Channel)
+		}
+
+		// Slot 3: IN.
+		if sentHello && gotAck {
+			ctx.Transmit(cfg.Channel, In{From: ctx.ID()})
+			out.InSet = true
+			out.JoinRound = round
+			active = false
+		} else {
+			rec := ctx.Listen(cfg.Channel)
+			if in, ok := rec.Msg.(In); ok && phy.SenderWithin(rec, p, cfg.R) {
+				out.DominatedBy = in.From
+				out.JoinRound = round
+				active = false
+			}
+		}
+
+		ctx.IdleFor(3 * (stride - 1 - cfg.Offset))
+	}
+	if active {
+		// Survivor: enters S at the end (Sec. 4).
+		out.InSet = true
+	}
+	return out
+}
+
+// Validate checks the ruling-set postcondition over the participant set:
+// members of S are pairwise more than r apart, and every participant is
+// within 2r of some member. It returns the number of independence violations
+// and the number of undominated participants.
+func Validate(pos []geo.Point, participant []bool, inSet []bool, r float64) (violations, undominated int) {
+	var members []int
+	for i := range pos {
+		if participant[i] && inSet[i] {
+			members = append(members, i)
+		}
+	}
+	for a := 0; a < len(members); a++ {
+		for b := a + 1; b < len(members); b++ {
+			if pos[members[a]].Dist(pos[members[b]]) <= r {
+				violations++
+			}
+		}
+	}
+	for i := range pos {
+		if !participant[i] || inSet[i] {
+			continue
+		}
+		ok := false
+		for _, m := range members {
+			if pos[i].Dist(pos[m]) <= 2*r {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			undominated++
+		}
+	}
+	return violations, undominated
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"testing"
+
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+)
+
+// BenchmarkEngineSlotThroughput measures raw engine overhead: n goroutine
+// nodes idling/listening through slots.
+func benchEngine(b *testing.B, n int) {
+	b.Helper()
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: float64(i%32) * 0.2, Y: float64(i/32) * 0.2}
+	}
+	f := phy.NewField(model.Default(4, n), pos)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(f, uint64(i))
+		progs := make([]Program, n)
+		for j := range progs {
+			progs[j] = func(ctx *Ctx) {
+				for s := 0; s < 100; s++ {
+					if ctx.Rand.Float64() < 0.1 {
+						ctx.Transmit(ctx.Rand.Intn(4), s)
+					} else {
+						ctx.Listen(ctx.Rand.Intn(4))
+					}
+				}
+			}
+		}
+		if _, err := e.Run(progs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(100*n*b.N)/b.Elapsed().Seconds(), "node-slots/s")
+}
+
+func BenchmarkEngine64Nodes100Slots(b *testing.B)  { benchEngine(b, 64) }
+func BenchmarkEngine256Nodes100Slots(b *testing.B) { benchEngine(b, 256) }

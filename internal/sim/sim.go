@@ -1,0 +1,353 @@
+// Package sim provides the synchronous multi-channel network simulator.
+//
+// Each node runs its protocol as ordinary sequential Go code in its own
+// goroutine. Per slot, every live node performs exactly one primitive —
+// Transmit, Listen, or Idle — and blocks until the engine has collected one
+// action from every live node, resolved the slot with the SINR layer
+// (internal/phy), and delivered the outcomes. This matches the paper's
+// synchronized-round model (Sec. 2): in each slot a node selects one of the
+// F channels and either transmits or listens on it.
+//
+// Determinism: node programs draw randomness only from ctx.Rand, a per-node
+// stream derived from (run seed, node ID), and slot resolution is
+// order-independent, so a run's transcript is a pure function of (seed,
+// topology, programs) regardless of goroutine scheduling.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/rng"
+)
+
+// Program is the protocol executed by one node. It runs in its own
+// goroutine; returning means the node powers down for the remainder of the
+// run (it neither transmits nor listens).
+type Program func(ctx *Ctx)
+
+// Event is an instrumentation record emitted by a node via Ctx.Emit.
+// Events are for measurement only; protocols must not read them.
+type Event struct {
+	Slot  int
+	Node  int
+	Name  string
+	Value int
+}
+
+// TraceFn observes every resolved slot. Slices are only valid during the
+// call.
+type TraceFn func(slot int, txs []phy.Tx, rxs []phy.Rx, recs []phy.Reception)
+
+// Engine drives a set of node programs over a phy.Field.
+type Engine struct {
+	// MaxSlots aborts the run if programs have not all returned by then.
+	// Zero means DefaultMaxSlots.
+	MaxSlots int
+	// Trace, when non-nil, observes every resolved slot.
+	Trace TraceFn
+	// NodeParams, when non-nil, is what Ctx.Params reports to protocols
+	// instead of the field's true parameters — the Sec. 2 setting where
+	// nodes know only (possibly conservative) estimates of the SINR
+	// parameters while physics follows the truth.
+	NodeParams *model.Params
+
+	field *phy.Field
+	seed  uint64
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// DefaultMaxSlots bounds runaway runs; protocols in this repo all use
+// explicit schedules far below it.
+const DefaultMaxSlots = 1 << 22
+
+// NewEngine creates an engine over the given field. The seed determines all
+// protocol randomness.
+func NewEngine(field *phy.Field, seed uint64) *Engine {
+	return &Engine{field: field, seed: seed}
+}
+
+// Field returns the engine's physical layer.
+func (e *Engine) Field() *phy.Field { return e.field }
+
+// Events returns the instrumentation events emitted during runs so far.
+// Ordering between different nodes' events within a slot is unspecified.
+func (e *Engine) Events() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Event, len(e.events))
+	copy(out, e.events)
+	return out
+}
+
+// ResetEvents discards recorded events.
+func (e *Engine) ResetEvents() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.events = nil
+}
+
+func (e *Engine) emit(ev Event) {
+	e.mu.Lock()
+	e.events = append(e.events, ev)
+	e.mu.Unlock()
+}
+
+type actKind uint8
+
+const (
+	actTransmit actKind = iota
+	actListen
+	actIdle
+)
+
+type action struct {
+	kind actKind
+	ch   int
+	msg  any
+}
+
+type nodeLink struct {
+	act  chan action
+	res  chan phy.Reception
+	done chan struct{}
+}
+
+// stopSignal is the sentinel panic used to unwind node goroutines when the
+// engine aborts a run.
+type stopSignal struct{}
+
+// Run executes one program per node until all programs return, then reports
+// the number of slots consumed. The slot counter continues across
+// consecutive Run calls on the same engine (startSlot), so staged protocols
+// measure cumulative time; use a fresh engine for independent runs.
+func (e *Engine) Run(programs []Program) (slots int, err error) {
+	return e.run(programs, 0)
+}
+
+// RunFrom is like Run but starts the slot counter at startSlot, for staged
+// pipelines that want globally consistent event timestamps.
+func (e *Engine) RunFrom(startSlot int, programs []Program) (slots int, err error) {
+	return e.run(programs, startSlot)
+}
+
+func (e *Engine) run(programs []Program, startSlot int) (int, error) {
+	n := e.field.N()
+	if len(programs) != n {
+		return 0, fmt.Errorf("sim: %d programs for %d nodes", len(programs), n)
+	}
+	maxSlots := e.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = DefaultMaxSlots
+	}
+
+	links := make([]*nodeLink, n)
+	stop := make(chan struct{})
+	var (
+		panicMu    sync.Mutex
+		firstPanic error
+	)
+	for i := 0; i < n; i++ {
+		links[i] = &nodeLink{
+			act:  make(chan action),
+			res:  make(chan phy.Reception),
+			done: make(chan struct{}),
+		}
+		nodeParams := e.field.Params()
+		if e.NodeParams != nil {
+			nodeParams = *e.NodeParams
+		}
+		ctx := &Ctx{
+			id:     i,
+			engine: e,
+			params: nodeParams,
+			Rand:   rng.Stream(e.seed, i),
+			link:   links[i],
+			stop:   stop,
+			slot:   startSlot,
+		}
+		prog := programs[i]
+		go func(i int, ctx *Ctx) {
+			defer close(links[i].done)
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if _, isStop := r.(stopSignal); isStop {
+					return
+				}
+				panicMu.Lock()
+				if firstPanic == nil {
+					firstPanic = fmt.Errorf("sim: node %d panicked: %v", i, r)
+				}
+				panicMu.Unlock()
+			}()
+			if prog != nil {
+				prog(ctx)
+			}
+		}(i, ctx)
+	}
+
+	abort := func() {
+		close(stop)
+		for i := 0; i < n; i++ {
+			<-links[i].done
+		}
+	}
+
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	nActive := n
+
+	var (
+		pending = make([]action, n)
+		txs     []phy.Tx
+		rxs     []phy.Rx
+		rxOwner []int
+	)
+	slot := startSlot
+	for used := 0; nActive > 0; used++ {
+		if used >= maxSlots {
+			abort()
+			return slot - startSlot, fmt.Errorf("sim: exceeded MaxSlots = %d with %d nodes still live", maxSlots, nActive)
+		}
+		// Collect one action (or termination) from every live node.
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				pending[i] = action{kind: actIdle}
+				continue
+			}
+			select {
+			case a := <-links[i].act:
+				pending[i] = a
+			case <-links[i].done:
+				active[i] = false
+				nActive--
+				pending[i] = action{kind: actIdle}
+			}
+		}
+		panicMu.Lock()
+		pErr := firstPanic
+		panicMu.Unlock()
+		if pErr != nil {
+			abort()
+			return slot - startSlot, pErr
+		}
+		if nActive == 0 {
+			break
+		}
+
+		// Resolve the slot.
+		txs, rxs, rxOwner = txs[:0], rxs[:0], rxOwner[:0]
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			switch pending[i].kind {
+			case actTransmit:
+				txs = append(txs, phy.Tx{Node: i, Channel: pending[i].ch, Msg: pending[i].msg})
+			case actListen:
+				rxs = append(rxs, phy.Rx{Node: i, Channel: pending[i].ch})
+				rxOwner = append(rxOwner, i)
+			}
+		}
+		recs := e.field.Resolve(txs, rxs)
+		if e.Trace != nil {
+			e.Trace(slot, txs, rxs, recs)
+		}
+
+		// Deliver outcomes: listeners get their reception, everyone else an
+		// empty one.
+		ri := 0
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			var rec phy.Reception
+			if pending[i].kind == actListen {
+				rec = recs[ri]
+				ri++
+			} else {
+				rec = phy.Reception{From: -1}
+			}
+			links[i].res <- rec
+		}
+		slot++
+	}
+	return slot - startSlot, nil
+}
+
+// Ctx is a node's handle to the simulator, passed to its Program.
+type Ctx struct {
+	// Rand is this node's private random stream.
+	Rand *rand.Rand
+
+	id     int
+	engine *Engine
+	params model.Params
+	link   *nodeLink
+	stop   chan struct{}
+	slot   int
+}
+
+// ID returns this node's index (the model's unique node ID).
+func (c *Ctx) ID() int { return c.id }
+
+// Params returns the model parameters known to the node (SINR ranges,
+// channel count, and the polynomial estimate of n).
+func (c *Ctx) Params() model.Params { return c.params }
+
+// Slot returns the number of completed slots from this node's perspective.
+func (c *Ctx) Slot() int { return c.slot }
+
+// Transmit sends msg on the given channel for one slot. A transmitting node
+// learns nothing about concurrent events (no transmitter-side detection).
+func (c *Ctx) Transmit(channel int, msg any) {
+	c.step(action{kind: actTransmit, ch: channel, msg: msg})
+}
+
+// Listen receives on the given channel for one slot and returns what was
+// observed.
+func (c *Ctx) Listen(channel int) phy.Reception {
+	return c.step(action{kind: actListen, ch: channel, msg: nil})
+}
+
+// Idle does nothing for one slot (radio off).
+func (c *Ctx) Idle() {
+	c.step(action{kind: actIdle})
+}
+
+// IdleFor idles for k consecutive slots.
+func (c *Ctx) IdleFor(k int) {
+	for i := 0; i < k; i++ {
+		c.Idle()
+	}
+}
+
+// Emit records an instrumentation event tagged with the current slot.
+func (c *Ctx) Emit(name string, value int) {
+	c.engine.emit(Event{Slot: c.slot, Node: c.id, Name: name, Value: value})
+}
+
+func (c *Ctx) step(a action) phy.Reception {
+	select {
+	case c.link.act <- a:
+	case <-c.stop:
+		panic(stopSignal{})
+	}
+	select {
+	case rec := <-c.link.res:
+		c.slot++
+		return rec
+	case <-c.stop:
+		panic(stopSignal{})
+	}
+}
