@@ -1,0 +1,47 @@
+package mcnet
+
+import "mcnet/internal/agg"
+
+// Aggregator is an associative, commutative fold over int64 values with an
+// identity element — the paper's "compressible functions" (Sec. 2). The
+// built-ins Sum, Max and Min cover the common cases; NewAggregator wraps a
+// custom combine function.
+type Aggregator interface {
+	// Name identifies the aggregate in reports.
+	Name() string
+	// Identity is the neutral element: Combine(Identity, x) == x.
+	Identity() int64
+	// Combine folds two partial aggregates. It must be associative and
+	// commutative for the distributed fold to be order-independent.
+	Combine(a, b int64) int64
+}
+
+// Built-in aggregators.
+var (
+	// Sum computes the total of all node values.
+	Sum Aggregator = opAggregator{agg.Sum}
+	// Max computes the maximum node value.
+	Max Aggregator = opAggregator{agg.Max}
+	// Min computes the minimum node value.
+	Min Aggregator = opAggregator{agg.Min}
+)
+
+// NewAggregator builds a custom Aggregator from an identity and an
+// associative, commutative combine function.
+func NewAggregator(name string, identity int64, combine func(a, b int64) int64) Aggregator {
+	return opAggregator{agg.Op{Name: name, Identity: identity, Combine: combine}}
+}
+
+type opAggregator struct{ op agg.Op }
+
+func (o opAggregator) Name() string             { return o.op.Name }
+func (o opAggregator) Identity() int64          { return o.op.Identity }
+func (o opAggregator) Combine(a, b int64) int64 { return o.op.Combine(a, b) }
+
+// toOp converts any Aggregator to the internal operator representation.
+func toOp(a Aggregator) agg.Op {
+	if o, ok := a.(opAggregator); ok {
+		return o.op
+	}
+	return agg.Op{Name: a.Name(), Identity: a.Identity(), Combine: a.Combine}
+}

@@ -1,27 +1,23 @@
 // Benchmarks regenerating the experiment suite: one benchmark per
 // experiment of DESIGN.md §5 (the paper has no numbered tables/figures of
 // its own, so the suite covers its claimed bounds C1–C10). Each benchmark
-// executes the full-size sweep once per iteration and logs the resulting
-// table; EXPERIMENTS.md records representative output.
+// executes the full-size sweep once per iteration through the public
+// experiment API and logs the resulting table; EXPERIMENTS.md records
+// representative output.
 //
 // Run with: go test -bench=. -benchmem
 package mcnet
 
-import (
-	"testing"
-
-	"mcnet/internal/expt"
-	"mcnet/internal/stats"
-)
+import "testing"
 
 // benchOptions keeps benchmark iterations affordable: one seed per point,
 // full-size sweeps.
-var benchOptions = expt.Options{Seeds: 1}
+var benchOptions = ExperimentOptions{Seeds: 1}
 
-func benchExperiment(b *testing.B, runner func(expt.Options) (*stats.Table, error)) {
+func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		tb, err := runner(benchOptions)
+		tb, err := RunExperiment(id, benchOptions)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -31,54 +27,28 @@ func benchExperiment(b *testing.B, runner func(expt.Options) (*stats.Table, erro
 	}
 }
 
-func BenchmarkE1AggSpeedupVsChannels(b *testing.B) {
-	benchExperiment(b, expt.E1SpeedupVsChannels)
-}
+func BenchmarkE1AggSpeedupVsChannels(b *testing.B) { benchExperiment(b, "e1") }
 
-func BenchmarkE2AggVsN(b *testing.B) {
-	benchExperiment(b, expt.E2AggVsN)
-}
+func BenchmarkE2AggVsN(b *testing.B) { benchExperiment(b, "e2") }
 
-func BenchmarkE3AggVsBaselines(b *testing.B) {
-	benchExperiment(b, expt.E3Baselines)
-}
+func BenchmarkE3AggVsBaselines(b *testing.B) { benchExperiment(b, "e3") }
 
-func BenchmarkE4Coloring(b *testing.B) {
-	benchExperiment(b, expt.E4Coloring)
-}
+func BenchmarkE4Coloring(b *testing.B) { benchExperiment(b, "e4") }
 
-func BenchmarkE5RulingSet(b *testing.B) {
-	benchExperiment(b, expt.E5RulingSet)
-}
+func BenchmarkE5RulingSet(b *testing.B) { benchExperiment(b, "e5") }
 
-func BenchmarkE6CSA(b *testing.B) {
-	benchExperiment(b, expt.E6CSA)
-}
+func BenchmarkE6CSA(b *testing.B) { benchExperiment(b, "e6") }
 
-func BenchmarkE7StructureBuild(b *testing.B) {
-	benchExperiment(b, expt.E7StructureBuild)
-}
+func BenchmarkE7StructureBuild(b *testing.B) { benchExperiment(b, "e7") }
 
-func BenchmarkE8ExponentialChain(b *testing.B) {
-	benchExperiment(b, expt.E8ExponentialChain)
-}
+func BenchmarkE8ExponentialChain(b *testing.B) { benchExperiment(b, "e8") }
 
-func BenchmarkE9Backbone(b *testing.B) {
-	benchExperiment(b, expt.E9Backbone)
-}
+func BenchmarkE9Backbone(b *testing.B) { benchExperiment(b, "e9") }
 
-func BenchmarkE10DiameterTerm(b *testing.B) {
-	benchExperiment(b, expt.E10DiameterTerm)
-}
+func BenchmarkE10DiameterTerm(b *testing.B) { benchExperiment(b, "e10") }
 
-func BenchmarkA1BackoffAblation(b *testing.B) {
-	benchExperiment(b, expt.A1BackoffAblation)
-}
+func BenchmarkA1BackoffAblation(b *testing.B) { benchExperiment(b, "a1") }
 
-func BenchmarkA2TDMAAblation(b *testing.B) {
-	benchExperiment(b, expt.A2TDMAAblation)
-}
+func BenchmarkA2TDMAAblation(b *testing.B) { benchExperiment(b, "a2") }
 
-func BenchmarkA3ChannelSpreadAblation(b *testing.B) {
-	benchExperiment(b, expt.A3ChannelSpreadAblation)
-}
+func BenchmarkA3ChannelSpreadAblation(b *testing.B) { benchExperiment(b, "a3") }

@@ -3,30 +3,30 @@
 //
 // Usage:
 //
-//	mcagg -exp e1            # one experiment (e1..e10)
+//	mcagg -exp e1            # one experiment (e1..e10, a1..a3)
 //	mcagg -exp all -seeds 5  # the full suite, 5 seeds per point
 //	mcagg -exp e3 -quick     # shrunken sweep for a fast look
 //	mcagg -exp e1 -csv       # machine-readable output
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"mcnet/internal/expt"
-	"mcnet/internal/stats"
+	"mcnet"
 )
 
-func main() { run(os.Args[1:], os.Stdout, os.Exit) }
+func main() { run(os.Args[1:], os.Stdout, os.Stderr, os.Exit) }
 
-func run(args []string, out io.Writer, exit func(int)) {
+func run(args []string, out, errOut io.Writer, exit func(int)) {
 	fs := flag.NewFlagSet("mcagg", flag.ContinueOnError)
-	fs.SetOutput(out)
+	fs.SetOutput(errOut)
 	var (
-		exp   = fs.String("exp", "all", "experiment id: e1..e10 or all")
+		exp   = fs.String("exp", "all", "experiment id: e1..e10, a1..a3 or all")
 		seeds = fs.Int("seeds", 3, "repetitions per sweep point")
 		quick = fs.Bool("quick", false, "shrink sweeps for a fast run")
 		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -35,30 +35,30 @@ func run(args []string, out io.Writer, exit func(int)) {
 		exit(2)
 		return
 	}
-	o := expt.Options{Seeds: *seeds, Quick: *quick}
-	var tables []*stats.Table
+	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick}
+	var tables []*mcnet.Table
 	if strings.EqualFold(*exp, "all") {
-		ts, err := expt.All(o)
+		ts, err := mcnet.AllExperiments(o)
 		if err != nil {
-			fmt.Fprintln(out, "error:", err)
+			fmt.Fprintln(errOut, "mcagg:", err)
 			exit(1)
 			return
 		}
 		tables = ts
 	} else {
-		runner, ok := expt.ByName(strings.ToLower(*exp))
-		if !ok {
-			fmt.Fprintf(out, "unknown experiment %q (use e1..e10 or all)\n", *exp)
-			exit(2)
-			return
-		}
-		tb, err := runner(o)
+		tb, err := mcnet.RunExperiment(*exp, o)
 		if err != nil {
-			fmt.Fprintln(out, "error:", err)
-			exit(1)
+			if errors.Is(err, mcnet.ErrUnknownExperiment) {
+				fmt.Fprintf(errOut, "mcagg: unknown experiment %q (valid: %s; use -exp all for the suite)\n",
+					*exp, strings.Join(mcnet.ExperimentIDs(), ", "))
+				exit(2)
+			} else {
+				fmt.Fprintln(errOut, "mcagg:", err)
+				exit(1)
+			}
 			return
 		}
-		tables = []*stats.Table{tb}
+		tables = []*mcnet.Table{tb}
 	}
 	for _, tb := range tables {
 		if *csv {

@@ -7,11 +7,11 @@ import (
 )
 
 func TestRunSingleExperiment(t *testing.T) {
-	var buf bytes.Buffer
+	var buf, errBuf bytes.Buffer
 	exitCode := -1
-	run([]string{"-exp", "e8", "-quick", "-seeds", "1"}, &buf, func(c int) { exitCode = c })
+	run([]string{"-exp", "e8", "-quick", "-seeds", "1"}, &buf, &errBuf, func(c int) { exitCode = c })
 	if exitCode != -1 {
-		t.Fatalf("exit code %d, output:\n%s", exitCode, buf.String())
+		t.Fatalf("exit code %d, output:\n%s%s", exitCode, buf.String(), errBuf.String())
 	}
 	if !strings.Contains(buf.String(), "E8") {
 		t.Errorf("missing table:\n%s", buf.String())
@@ -19,26 +19,36 @@ func TestRunSingleExperiment(t *testing.T) {
 }
 
 func TestRunCSV(t *testing.T) {
-	var buf bytes.Buffer
-	run([]string{"-exp", "e8", "-quick", "-csv"}, &buf, func(int) {})
+	var buf, errBuf bytes.Buffer
+	run([]string{"-exp", "e8", "-quick", "-csv"}, &buf, &errBuf, func(int) {})
 	if !strings.Contains(buf.String(), "topology,slots") {
 		t.Errorf("missing CSV header:\n%s", buf.String())
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	var buf bytes.Buffer
+	var buf, errBuf bytes.Buffer
 	exitCode := -1
-	run([]string{"-exp", "e99"}, &buf, func(c int) { exitCode = c })
+	run([]string{"-exp", "e99"}, &buf, &errBuf, func(c int) { exitCode = c })
 	if exitCode != 2 {
 		t.Errorf("exit code %d, want 2", exitCode)
+	}
+	msg := errBuf.String()
+	if !strings.Contains(msg, "unknown experiment") || !strings.Contains(msg, "e99") {
+		t.Errorf("unhelpful error: %q", msg)
+	}
+	if !strings.Contains(msg, "e10") || !strings.Contains(msg, "a1") {
+		t.Errorf("error does not list valid ids: %q", msg)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("error leaked to stdout: %q", buf.String())
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	var buf bytes.Buffer
+	var buf, errBuf bytes.Buffer
 	exitCode := -1
-	run([]string{"-bogus"}, &buf, func(c int) { exitCode = c })
+	run([]string{"-bogus"}, &buf, &errBuf, func(c int) { exitCode = c })
 	if exitCode != 2 {
 		t.Errorf("exit code %d, want 2", exitCode)
 	}

@@ -15,21 +15,16 @@ import (
 	"io"
 	"os"
 
-	"mcnet/internal/expt"
-	"mcnet/internal/geo"
-	"mcnet/internal/graph"
-	"mcnet/internal/model"
-	"mcnet/internal/rng"
-	"mcnet/internal/topology"
+	"mcnet"
 )
 
-func main() { run(os.Args[1:], os.Stdout, os.Exit) }
+func main() { run(os.Args[1:], os.Stdout, os.Stderr, os.Exit) }
 
-func run(args []string, out io.Writer, exit func(int)) {
+func run(args []string, out, errOut io.Writer, exit func(int)) {
 	fs := flag.NewFlagSet("mctopo", flag.ContinueOnError)
-	fs.SetOutput(out)
+	fs.SetOutput(errOut)
 	var (
-		kind   = fs.String("kind", "uniform", "uniform|crowd|hotspot|line|chain|corridor|ring")
+		kind   = fs.String("kind", "uniform", "uniform|crowd|grid|hotspot|line|chain|corridor|ring")
 		n      = fs.Int("n", 128, "node count")
 		seed   = fs.Uint64("seed", 1, "generator seed")
 		degree = fs.Float64("degree", 12, "target average degree (uniform)")
@@ -40,44 +35,47 @@ func run(args []string, out io.Writer, exit func(int)) {
 		exit(2)
 		return
 	}
-	p := model.Default(1, max2(*n, 2))
-	rnd := rng.New(*seed)
-	var pos []geo.Point
+	var topo mcnet.Topology
 	switch *kind {
 	case "uniform":
-		pos = topology.UniformDegree(rnd, *n, p.REps(), *degree)
+		topo = mcnet.Uniform(*degree)
 	case "crowd":
-		pos = expt.Crowd(p, *n, *seed)
+		topo = mcnet.Crowd
+	case "grid":
+		topo = mcnet.Grid
 	case "hotspot":
-		pos = topology.Hotspot(rnd, max2(*n/16, 1), 16, 4, 0.05)
+		topo = mcnet.Hotspot(max(*n/16, 1), 16, 6, 0.07)
 	case "line":
-		pos = topology.Line(*n, 0.5)
+		topo = mcnet.Line(0.7)
 	case "chain":
-		pos = topology.ExponentialChain(*n, 1)
+		topo = mcnet.Chain
 	case "corridor":
-		pos = topology.Corridor(rnd, *n, float64(*length)*p.REps(), 0.6*p.REps())
+		topo = mcnet.Corridor(*length)
 	case "ring":
-		pos = topology.Ring(*n, float64(*n)*0.5/6.28)
+		topo = mcnet.Ring(0.7)
 	default:
-		fmt.Fprintf(out, "unknown topology kind %q\n", *kind)
+		fmt.Fprintf(errOut, "mctopo: unknown topology kind %q\n", *kind)
 		exit(2)
 		return
 	}
-	g := graph.Build(pos, p.REps())
-	fmt.Fprintf(out, "kind=%s n=%d R_eps=%.3f r_c=%.4f\n", *kind, len(pos), p.REps(), p.ClusterRadius())
+	net, err := mcnet.New(max(*n, 2), mcnet.WithTopology(topo), mcnet.Channels(1), mcnet.Seed(*seed))
+	if err != nil {
+		fmt.Fprintln(errOut, "mctopo:", err)
+		exit(1)
+		return
+	}
+	g := net.Geometry()
+	st := net.Stats()
+	fmt.Fprintf(out, "kind=%s n=%d R_eps=%.3f r_c=%.4f\n", *kind, net.N(), g.CommRadius, g.ClusterRadius)
 	fmt.Fprintf(out, "max_degree=%d avg_degree=%.2f connected=%v diameter~%d\n",
-		g.MaxDegree(), g.AvgDegree(), g.Connected(), g.DiameterApprox())
+		st.MaxDegree, st.AvgDegree, st.Connected, st.Diameter)
+	pi := net.Plan()
+	fmt.Fprintf(out, "derived: DeltaHat=%d PhiMax=%d HopBound=%d (schedule %d slots)\n",
+		pi.DeltaHat, pi.PhiMax, pi.HopBound, pi.BudgetSlots)
 	if *dump {
 		fmt.Fprintln(out, "x,y")
-		for _, q := range pos {
+		for _, q := range net.Positions() {
 			fmt.Fprintf(out, "%.6f,%.6f\n", q.X, q.Y)
 		}
 	}
-}
-
-func max2(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -7,36 +7,42 @@ import (
 )
 
 func TestTopoKinds(t *testing.T) {
-	for _, kind := range []string{"uniform", "crowd", "hotspot", "line", "chain", "corridor", "ring"} {
-		var buf bytes.Buffer
+	for _, kind := range []string{"uniform", "crowd", "grid", "hotspot", "line", "chain", "corridor", "ring"} {
+		var buf, errBuf bytes.Buffer
 		exitCode := -1
-		run([]string{"-kind", kind, "-n", "32"}, &buf, func(c int) { exitCode = c })
+		run([]string{"-kind", kind, "-n", "32"}, &buf, &errBuf, func(c int) { exitCode = c })
 		if exitCode != -1 {
-			t.Errorf("%s: exit %d:\n%s", kind, exitCode, buf.String())
+			t.Errorf("%s: exit %d:\n%s%s", kind, exitCode, buf.String(), errBuf.String())
 			continue
 		}
 		if !strings.Contains(buf.String(), "max_degree=") {
 			t.Errorf("%s: missing stats:\n%s", kind, buf.String())
 		}
+		if !strings.Contains(buf.String(), "DeltaHat=") {
+			t.Errorf("%s: missing derived sizing:\n%s", kind, buf.String())
+		}
 	}
 }
 
 func TestTopoDump(t *testing.T) {
-	var buf bytes.Buffer
-	run([]string{"-kind", "line", "-n", "4", "-dump"}, &buf, func(int) {})
+	var buf, errBuf bytes.Buffer
+	run([]string{"-kind", "line", "-n", "4", "-dump"}, &buf, &errBuf, func(int) {})
 	if !strings.Contains(buf.String(), "x,y") {
 		t.Error("missing CSV header")
 	}
-	if got := strings.Count(buf.String(), "\n"); got < 6 {
-		t.Errorf("expected ≥ 6 lines, got %d", got)
+	if got := strings.Count(buf.String(), "\n"); got < 7 {
+		t.Errorf("expected ≥ 7 lines, got %d", got)
 	}
 }
 
 func TestTopoUnknownKind(t *testing.T) {
-	var buf bytes.Buffer
+	var buf, errBuf bytes.Buffer
 	exitCode := -1
-	run([]string{"-kind", "mystery"}, &buf, func(c int) { exitCode = c })
+	run([]string{"-kind", "mystery"}, &buf, &errBuf, func(c int) { exitCode = c })
 	if exitCode != 2 {
 		t.Errorf("exit = %d, want 2", exitCode)
+	}
+	if !strings.Contains(errBuf.String(), "unknown topology") {
+		t.Errorf("unhelpful error: %q", errBuf.String())
 	}
 }

@@ -3,8 +3,33 @@
 // aggregation in O(D + Δ/F + log n log log n) rounds and node coloring with
 // O(Δ) colors on F channels under the SINR interference model.
 //
-// The root package holds the benchmark suite regenerating the evaluation
-// (one benchmark per experiment of DESIGN.md §5); the implementation lives
-// under internal/ — see README.md for the architecture and EXPERIMENTS.md
-// for measured results.
+// The root package is the public facade — the one importable surface. Build
+// a Network with New and functional options, then run the paper's protocols
+// with high-level verbs:
+//
+//	net, err := mcnet.New(48,
+//		mcnet.Channels(4),
+//		mcnet.Seed(42),
+//		mcnet.WithTopology(mcnet.Crowd),
+//	)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	res, err := net.Aggregate(ctx, values, mcnet.Sum)
+//
+// The facade derives all pipeline sizing (the cluster-size bound Δ̂, the
+// TDMA period φ, the backbone hop bound) from the chosen Topology, so
+// callers never hand-tune internal schedule parameters; explicit options
+// (DeltaHat, PhiMax, HopBound) override the derivation when needed.
+// Aggregate and Color honor context cancellation, results carry per-stage
+// budgets vs. observed completion events plus channel utilization, and
+// Events streams per-node milestones live. RunExperiment exposes the
+// evaluation suite (E1–E10, ablations A1–A3) that regenerates the paper's
+// claimed bounds.
+//
+// Everything under internal/ is implementation — the SINR physical layer,
+// the slot-synchronous simulator, and the per-stage protocols — and is not
+// importable from outside; examples/, cmd/ and the benchmarks consume only
+// the facade. See README.md for the architecture and migration notes and
+// EXPERIMENTS.md for measured results.
 package mcnet

@@ -7,76 +7,26 @@
 // channel — the term the multichannel structure divides by F. A uniform
 // line is run as a control where spatial reuse works.
 //
+// This is experiment E8 of the evaluation suite, run here through the
+// public facade.
+//
 // Run with: go run ./examples/chain
 package main
 
 import (
 	"fmt"
 	"log"
-	"math"
 
-	"mcnet/internal/geo"
-	"mcnet/internal/model"
-	"mcnet/internal/phy"
-	"mcnet/internal/sim"
-	"mcnet/internal/topology"
+	"mcnet"
 )
 
-type linkMsg struct{ To int }
-
 func main() {
-	const (
-		n     = 20
-		slots = 300
-		seed  = 3
-	)
-	p := model.Default(1, n)
-	fmt.Printf("SINR: α=%.0f β=%.2f; serialization condition β ≥ 2^(1/α) = %.3f holds: %v\n\n",
-		p.Alpha, p.Beta, math.Pow(2, 1/p.Alpha), p.Beta >= math.Pow(2, 1/p.Alpha))
-
-	run := func(name string, pos []geo.Point, span float64) {
-		// Raise the uniform power so R_T covers the instance span: the
-		// chain argument is about interference, not range.
-		pp := p
-		pp.Power = pp.Beta * pp.Noise * math.Pow(span, pp.Alpha)
-		field := phy.NewField(pp, pos)
-		engine := sim.NewEngine(field, seed)
-		maxParallel, total := 0, 0
-		engine.Trace = func(_ int, _ []phy.Tx, rxs []phy.Rx, recs []phy.Reception) {
-			links := 0
-			for k, r := range recs {
-				if m, ok := r.Msg.(linkMsg); r.Decoded && ok && m.To == rxs[k].Node {
-					links++
-				}
-			}
-			total += links
-			if links > maxParallel {
-				maxParallel = links
-			}
-		}
-		progs := make([]sim.Program, n)
-		for i := range progs {
-			progs[i] = func(ctx *sim.Ctx) {
-				for s := 0; s < slots; s++ {
-					if ctx.ID() > 0 && ctx.Rand.Float64() < 0.5 {
-						ctx.Transmit(0, linkMsg{To: ctx.ID() - 1})
-					} else {
-						ctx.Listen(0)
-					}
-				}
-			}
-		}
-		if _, err := engine.Run(progs); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-28s max parallel sink-links: %d   mean/slot: %.2f\n",
-			name, maxParallel, float64(total)/slots)
+	tb, err := mcnet.RunExperiment("e8", mcnet.ExperimentOptions{Seeds: 1})
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	run("exponential chain x_i=2^i:", topology.ExponentialChain(n, 1), math.Pow(2, n+1))
-	run("uniform line (control):", topology.Line(n, 0.5), 1)
-
-	fmt.Println("\nthe chain admits no sink-directed parallelism: aggregating n values")
+	fmt.Println(tb.Render())
+	fmt.Println("the chain admits no sink-directed parallelism: aggregating n values")
 	fmt.Println("needs ≥ n-1 slots on one channel, while F channels cut this to ≈ (n-1)/F —")
 	fmt.Println("the Δ/F term the multichannel aggregation structure exploits.")
 }

@@ -1,75 +1,48 @@
-// Quickstart: aggregate a sum over a dense sensor cluster using the
-// multichannel pipeline, and print what every node learned.
+// Quickstart: aggregate a sum over a dense sensor cluster using the public
+// mcnet facade, and print what the network learned.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mcnet/internal/agg"
-	"mcnet/internal/core"
-	"mcnet/internal/expt"
-	"mcnet/internal/model"
-	"mcnet/internal/phy"
-	"mcnet/internal/sim"
+	"mcnet"
 )
 
 func main() {
-	const (
-		n        = 48 // sensors
-		channels = 4  // available radio channels
-		seed     = 42
+	const n = 48 // sensors
+
+	// One dense cluster on 4 radio channels; all pipeline sizing (Δ̂, TDMA
+	// period, hop bound) is derived from the topology.
+	net, err := mcnet.New(n,
+		mcnet.Channels(4),
+		mcnet.Seed(42),
+		mcnet.WithTopology(mcnet.Crowd),
 	)
-
-	// Model: default SINR parameters (α=3, β=1.5, R_T=1) with F channels
-	// and a size estimate the nodes are allowed to know.
-	p := model.Default(channels, n)
-
-	// Topology: one dense cluster (everyone within a cluster radius).
-	pos := expt.Crowd(p, n, seed)
-
-	// Each sensor holds a reading; the network computes the sum.
-	values := make([]int64, n)
-	var want int64
-	for i := range values {
-		values[i] = int64(10 + i)
-		want += values[i]
-	}
-
-	// Build the aggregation structure and run data aggregation.
-	cfg := core.DefaultConfig(p)
-	cfg.DeltaHat = n // clusters can be as large as the network
-	cfg.PhiMax = 4   // dense field: few cluster colors needed
-	cfg.HopBound = 2
-	pl := core.NewPlan(p, cfg)
-	engine := sim.NewEngine(phy.NewField(p, pos), seed)
-
-	res, err := core.Run(engine, pl, values, agg.Sum, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	informed, exact, dominators, reporters := 0, 0, 0, 0
-	for _, r := range res {
-		if r.Ok {
-			informed++
-			if r.Value == want {
-				exact++
-			}
-		}
-		if r.IsDominator {
-			dominators++
-		}
-		if r.IsReporter {
-			reporters++
-		}
+	// Each sensor holds a reading; the network computes the sum.
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(10 + i)
 	}
-	fmt.Printf("network: %d nodes, %d channels\n", n, channels)
-	fmt.Printf("structure: %d dominator(s), %d reporter(s)\n", dominators, reporters)
-	fmt.Printf("true sum: %d\n", want)
-	fmt.Printf("informed: %d/%d nodes, exact: %d/%d\n", informed, n, exact, n)
+
+	res, err := net.Aggregate(context.Background(), values, mcnet.Sum)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("network: %d nodes, %d channels\n", net.N(), net.Channels())
+	fmt.Printf("structure: %d dominator(s), %d reporter(s), %d follower(s)\n",
+		res.Dominators, res.Reporters, res.Followers)
+	fmt.Printf("true sum: %d\n", res.Value)
+	fmt.Printf("informed: %d/%d nodes, exact: %d/%d\n", res.Informed, net.N(), res.Exact, net.N())
 	fmt.Printf("total schedule: %d slots (structure %d + aggregation %d)\n",
-		pl.Offsets.End, pl.Offsets.Followers, pl.Offsets.End-pl.Offsets.Followers)
+		res.BudgetSlots, res.BuildSlots, res.BudgetSlots-res.BuildSlots)
+	fmt.Printf("observed: last follower acked %d slots into aggregation\n", res.AckSlots)
 }

@@ -6,14 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
 
-	"mcnet/internal/agg"
-	"mcnet/internal/core"
-	"mcnet/internal/expt"
-	"mcnet/internal/model"
-	"mcnet/internal/rng"
+	"mcnet"
 )
 
 func main() {
@@ -22,7 +20,7 @@ func main() {
 		seed = 7
 	)
 	// Synthetic readings: base temperature plus hotspots.
-	r := rng.New(seed)
+	r := rand.New(rand.NewSource(seed))
 	temps := make([]int64, n)
 	var hottest int64 = -1 << 30
 	for i := range temps {
@@ -39,18 +37,20 @@ func main() {
 	fmt.Printf("%-10s %-14s %-14s %-8s\n", "channels", "contention", "total_slots", "correct")
 
 	for _, channels := range []int{1, 2, 4, 8} {
-		p := model.Default(channels, n)
-		pos := expt.Crowd(p, n, seed)
-		cfg := core.DefaultConfig(p)
-		cfg.DeltaHat = n
-		cfg.PhiMax = 4
-		cfg.HopBound = 2
-		m, err := expt.RunAgg(pos, p, cfg, temps, agg.Max, seed+uint64(channels))
+		net, err := mcnet.New(n,
+			mcnet.Channels(channels),
+			mcnet.Seed(seed),
+			mcnet.WithTopology(mcnet.Crowd),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		correct := fmt.Sprintf("%d/%d", m.Exact, m.N)
-		fmt.Printf("%-10d %-14d %-14d %-8s\n", channels, m.AckSlots, m.AggSlots, correct)
+		res, err := net.Aggregate(context.Background(), temps, mcnet.Max)
+		if err != nil {
+			log.Fatal(err)
+		}
+		correct := fmt.Sprintf("%d/%d", res.Exact, net.N())
+		fmt.Printf("%-10d %-14d %-14d %-8s\n", channels, res.AckSlots, res.AggSlots, correct)
 	}
 	fmt.Println("\ncontention = slots until the last sensor's reading was")
 	fmt.Println("acknowledged by a reporter: the Δ/F term of Theorem 22.")

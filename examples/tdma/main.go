@@ -1,21 +1,16 @@
-// TDMA: color a network with the Sec. 7 algorithm and use the palette as a
-// collision-free transmission schedule, then verify over the SINR layer
-// that every scheduled transmission is decodable by all neighbors.
+// TDMA: color a network with the Sec. 7 algorithm through the mcnet facade
+// and use the palette as a collision-free transmission schedule, verifying
+// over the SINR layer that scheduled broadcasts reach all neighbors.
 //
 // Run with: go run ./examples/tdma
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mcnet/internal/coloring"
-	"mcnet/internal/core"
-	"mcnet/internal/expt"
-	"mcnet/internal/graph"
-	"mcnet/internal/model"
-	"mcnet/internal/phy"
-	"mcnet/internal/sim"
+	"mcnet"
 )
 
 func main() {
@@ -24,63 +19,30 @@ func main() {
 		channels = 4
 		seed     = 11
 	)
-	p := model.Default(channels, n)
-	pos := expt.Crowd(p, n, seed)
-
-	cfg := core.DefaultConfig(p)
-	cfg.DeltaHat = n
-	cfg.PhiMax = 4
-	cfg.HopBound = 2
-	pl := core.NewPlan(p, cfg)
-	engine := sim.NewEngine(phy.NewField(p, pos), seed)
-	res, err := coloring.Run(engine, pl, coloring.DefaultConfig(), seed)
+	net, err := mcnet.New(n,
+		mcnet.Channels(channels),
+		mcnet.Seed(seed),
+		mcnet.WithTopology(mcnet.Crowd),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	conflicts, uncolored, palette := coloring.Validate(pos, p.REps(), res)
-	fmt.Printf("colored %d nodes: palette=%d conflicts=%d uncolored=%d\n",
-		n-uncolored, palette, conflicts, uncolored)
 
-	// Use colors as a TDMA schedule: in slot t, nodes with color t
-	// transmit. Count how many neighbor links decode in a full cycle.
-	maxColor := 0
-	for _, r := range res {
-		if r.Color > maxColor {
-			maxColor = r.Color
-		}
+	res, err := net.Color(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
-	g := graph.Build(pos, p.REps())
-	field := phy.NewField(model.Default(1, n), pos)
-	delivered, links := 0, 0
-	for slot := 0; slot <= maxColor; slot++ {
-		var txs []phy.Tx
-		var rxs []phy.Rx
-		for i, r := range res {
-			if r.Color == slot {
-				txs = append(txs, phy.Tx{Node: i, Channel: 0, Msg: i})
-			} else {
-				rxs = append(rxs, phy.Rx{Node: i, Channel: 0})
-			}
-		}
-		recs := field.Resolve(txs, rxs)
-		for k, rec := range recs {
-			if !rec.Decoded {
-				continue
-			}
-			// Count decoded messages from graph neighbors.
-			listener := rxs[k].Node
-			for _, nb := range g.Neighbors(listener) {
-				if int(nb) == rec.From {
-					delivered++
-				}
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		links += g.Degree(i)
+	fmt.Printf("colored %d nodes: palette=%d conflicts=%d uncolored=%d\n",
+		net.N()-res.Uncolored, res.Palette, res.Conflicts, res.Uncolored)
+
+	// Use colors as a TDMA schedule: in cycle slot t, nodes with color t
+	// transmit; count how many neighbor links decode in a full cycle.
+	rep, err := net.VerifyTDMA(res.Colors())
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("TDMA cycle of %d slots: %d/%d directed neighbor links delivered\n",
-		maxColor+1, delivered, links)
+		rep.Cycle, rep.Delivered, rep.Links)
 	fmt.Println("(a proper coloring lets every node broadcast to all")
 	fmt.Println(" neighbors once per cycle with zero intra-cycle collisions)")
 }

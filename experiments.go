@@ -1,0 +1,67 @@
+package mcnet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mcnet/internal/expt"
+	"mcnet/internal/stats"
+)
+
+// ErrUnknownExperiment is wrapped by RunExperiment when the id does not
+// name an experiment; test with errors.Is.
+var ErrUnknownExperiment = errors.New("unknown experiment")
+
+// ExperimentOptions sizes an experiment run.
+type ExperimentOptions struct {
+	// Seeds is the number of independent repetitions per sweep point
+	// (medians reported); values below 1 mean 1.
+	Seeds int
+	// Quick shrinks the sweeps for tests and smoke runs.
+	Quick bool
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	t *stats.Table
+}
+
+// Render returns the aligned human-readable table.
+func (t *Table) Render() string { return t.t.Render() }
+
+// CSV returns the machine-readable form.
+func (t *Table) CSV() string { return t.t.CSV() }
+
+// ExperimentIDs lists the runnable experiment identifiers: the evaluation
+// suite e1..e10 (one per claimed bound of the paper) and the ablations
+// a1..a3. Use AllExperiments for the whole e-suite in one call.
+func ExperimentIDs() []string {
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3"}
+}
+
+// RunExperiment executes one experiment by id (see ExperimentIDs) and
+// returns its table. Unknown ids yield a descriptive error wrapping
+// ErrUnknownExperiment.
+func RunExperiment(id string, o ExperimentOptions) (*Table, error) {
+	runner, ok := expt.ByName(strings.ToLower(id))
+	if !ok {
+		return nil, fmt.Errorf("mcnet: %w %q (valid: %s; use AllExperiments for the suite)",
+			ErrUnknownExperiment, id, strings.Join(ExperimentIDs(), ", "))
+	}
+	tb, err := runner(expt.Options{Seeds: o.Seeds, Quick: o.Quick})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: tb}, nil
+}
+
+// AllExperiments runs the full e1..e10 suite in order.
+func AllExperiments(o ExperimentOptions) ([]*Table, error) {
+	ts, err := expt.All(expt.Options{Seeds: o.Seeds, Quick: o.Quick})
+	out := make([]*Table, len(ts))
+	for i, tb := range ts {
+		out[i] = &Table{t: tb}
+	}
+	return out, err
+}

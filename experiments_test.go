@@ -1,0 +1,56 @@
+package mcnet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRunExperiment: the facade runs a suite experiment and renders its
+// table.
+func TestRunExperiment(t *testing.T) {
+	tb, err := RunExperiment("e8", ExperimentOptions{Seeds: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.Render(), "E8") {
+		t.Errorf("missing table title:\n%s", tb.Render())
+	}
+	if !strings.Contains(tb.CSV(), "topology,slots") {
+		t.Errorf("missing CSV header:\n%s", tb.CSV())
+	}
+}
+
+// TestRunExperimentUnknown: unknown ids produce a descriptive sentinel
+// error, not a panic or a silent nil.
+func TestRunExperimentUnknown(t *testing.T) {
+	_, err := RunExperiment("e99", ExperimentOptions{})
+	if err == nil {
+		t.Fatal("no error for unknown experiment")
+	}
+	if !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("err = %v, want ErrUnknownExperiment", err)
+	}
+	if !strings.Contains(err.Error(), "e10") {
+		t.Errorf("error does not list valid ids: %v", err)
+	}
+}
+
+// TestExperimentIDs: the advertised id list is stable and complete.
+func TestExperimentIDs(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 13 {
+		t.Fatalf("len(ExperimentIDs) = %d, want 13", len(ids))
+	}
+	for _, want := range []string{"e1", "e10", "a3"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing id %q", want)
+		}
+	}
+}

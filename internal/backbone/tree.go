@@ -7,6 +7,19 @@ import (
 	"mcnet/internal/sim"
 )
 
+// Event names emitted by the backbone stage.
+const (
+	// EventAgg fires when the backbone root completes the network-wide
+	// aggregate.
+	EventAgg = "backbone-agg"
+	// EventAggUpdate fires when the root's aggregate is refined by a late
+	// child contribution.
+	EventAggUpdate = "backbone-agg-update"
+	// EventResult fires when a dominator learns the final result over the
+	// backbone.
+	EventResult = "backbone-result"
+)
+
 // State is the tree-building flood message: the sender's current root and
 // hop count.
 type State struct {
@@ -216,7 +229,7 @@ func RunTree(ctx *sim.Ctx, cfg TreeConfig, color int, value int64, op agg.Op) Tr
 		for sub := 0; sub < cfg.PhiMax; sub++ {
 			if isRoot && !emitted && ready() {
 				emitted = true
-				ctx.Emit("backbone-agg", int(recompute()))
+				ctx.Emit(EventAgg, int(recompute()))
 			}
 			if ownSlot(sub) {
 				switch {
@@ -243,7 +256,7 @@ func RunTree(ctx *sim.Ctx, cfg TreeConfig, color int, value int64, op agg.Op) Tr
 						if isRoot {
 							// Timestamp every root-side update so harnesses
 							// can measure true (not ready-check) completion.
-							ctx.Emit("backbone-agg-update", int(recompute()))
+							ctx.Emit(EventAggUpdate, int(recompute()))
 						}
 					}
 					upAcks = append(upAcks, m.From)
@@ -274,7 +287,7 @@ func RunTree(ctx *sim.Ctx, cfg TreeConfig, color int, value int64, op agg.Op) Tr
 				out.Result = m.Value
 				out.Done = true
 				informed = true
-				ctx.Emit("backbone-result", int(m.Value))
+				ctx.Emit(EventResult, int(m.Value))
 			}
 		}
 	}

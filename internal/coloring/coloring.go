@@ -21,6 +21,7 @@
 package coloring
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -76,6 +77,12 @@ func AssignRounds(pl *core.Plan, cfg Config) int {
 // Run executes structure construction followed by the four coloring
 // procedures, returning per-node colors.
 func Run(e *sim.Engine, pl *core.Plan, cfg Config, seed uint64) ([]Result, error) {
+	return RunContext(context.Background(), e, pl, cfg, seed)
+}
+
+// RunContext is like Run but aborts promptly with ctx.Err() when ctx is
+// cancelled mid-run.
+func RunContext(ctx context.Context, e *sim.Engine, pl *core.Plan, cfg Config, seed uint64) ([]Result, error) {
 	n := e.Field().N()
 	res := make([]Result, n)
 	progs := make([]sim.Program, n)
@@ -83,7 +90,7 @@ func Run(e *sim.Engine, pl *core.Plan, cfg Config, seed uint64) ([]Result, error
 		progs[i] = program(pl, cfg, i, res)
 	}
 	_ = seed
-	if _, err := e.Run(progs); err != nil {
+	if _, err := e.RunContext(ctx, progs); err != nil {
 		return nil, err
 	}
 	return res, nil

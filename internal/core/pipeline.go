@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"mcnet/internal/agg"
 	"mcnet/internal/backbone"
 	"mcnet/internal/csa"
@@ -71,6 +73,12 @@ type Result struct {
 // the per-node results; timings are available via the engine's events and
 // the plan's stage offsets.
 func Run(e *sim.Engine, pl *Plan, values []int64, op agg.Op, seed uint64) ([]Result, error) {
+	return RunContext(context.Background(), e, pl, values, op, seed)
+}
+
+// RunContext is like Run but aborts promptly with ctx.Err() when ctx is
+// cancelled mid-run.
+func RunContext(ctx context.Context, e *sim.Engine, pl *Plan, values []int64, op agg.Op, seed uint64) ([]Result, error) {
 	n := e.Field().N()
 	if len(values) != n {
 		values = make([]int64, n)
@@ -81,7 +89,7 @@ func Run(e *sim.Engine, pl *Plan, values []int64, op agg.Op, seed uint64) ([]Res
 		progs[i] = pl.program(i, values[i], op, res)
 	}
 	_ = seed
-	if _, err := e.Run(progs); err != nil {
+	if _, err := e.RunContext(ctx, progs); err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -13,12 +13,14 @@ import (
 	"fmt"
 
 	"mcnet/internal/agg"
+	"mcnet/internal/backbone"
 	"mcnet/internal/core"
 	"mcnet/internal/geo"
 	"mcnet/internal/graph"
 	"mcnet/internal/model"
 	"mcnet/internal/phy"
 	"mcnet/internal/sim"
+	"mcnet/internal/topology"
 )
 
 // AggMetrics summarizes one pipeline run.
@@ -88,11 +90,11 @@ func RunAgg(pos []geo.Point, p model.Params, cfg core.Config, values []int64, op
 			if ev.Slot > lastAck {
 				lastAck = ev.Slot
 			}
-		case "backbone-result":
+		case backbone.EventResult:
 			if ev.Slot > lastResult {
 				lastResult = ev.Slot
 			}
-		case "backbone-agg":
+		case backbone.EventAgg:
 			if ev.Slot > rootAgg {
 				rootAgg = ev.Slot
 			}
@@ -117,16 +119,7 @@ func RunAgg(pos []geo.Point, p model.Params, cfg core.Config, values []int64, op
 // Crowd places n nodes inside one cluster-radius disk (a single-cluster,
 // Δ = n-1 workload isolating the Δ/F term).
 func Crowd(p model.Params, n int, seed uint64) []geo.Point {
-	rnd := newRand(seed)
-	rc := p.ClusterRadius()
-	pos := make([]geo.Point, n)
-	for i := 1; i < n; i++ {
-		pos[i] = geo.Point{
-			X: (rnd.Float64()*2 - 1) * rc / 2,
-			Y: (rnd.Float64()*2 - 1) * rc / 2,
-		}
-	}
-	return pos
+	return topology.Crowd(newRand(seed), n, p.ClusterRadius())
 }
 
 // sequentialValues returns 1..n and their sum.

@@ -179,7 +179,7 @@ func E3Baselines(o Options) (*stats.Table, error) {
 		last := 0
 		for _, ev := range e.Events() {
 			switch ev.Name {
-			case "backbone-agg", "backbone-result", "backbone-agg-update":
+			case backbone.EventAgg, backbone.EventResult, backbone.EventAggUpdate:
 				if ev.Slot > last {
 					last = ev.Slot
 				}

@@ -3,11 +3,12 @@ package expt
 import (
 	"math/rand"
 
-	"mcnet/internal/rng"
+	"mcnet/internal/topology"
 )
 
 // newRand derives a topology-generation stream from an experiment seed,
-// kept separate from the protocol seed space.
+// kept separate from the protocol seed space (shared with the facade via
+// topology.LayoutRand).
 func newRand(seed uint64) *rand.Rand {
-	return rng.New(rng.Mix(seed, 0x70706f6c6f6779)) // "topology"
+	return topology.LayoutRand(seed)
 }

@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -54,12 +55,20 @@ type Engine struct {
 	// nodes know only (possibly conservative) estimates of the SINR
 	// parameters while physics follows the truth.
 	NodeParams *model.Params
+	// EventSink, when non-nil, observes every event as it is emitted, in
+	// addition to the recorded Events() log. Calls are serialized (one at a
+	// time) but may come from any node's goroutine and stall that node's
+	// slot; keep sinks fast.
+	EventSink func(Event)
 
 	field *phy.Field
 	seed  uint64
 
 	mu     sync.Mutex
 	events []Event
+	// sinkMu serializes EventSink calls without holding mu, so a slow sink
+	// cannot stall Events()/ResetEvents() and a sink may safely read them.
+	sinkMu sync.Mutex
 }
 
 // DefaultMaxSlots bounds runaway runs; protocols in this repo all use
@@ -95,7 +104,13 @@ func (e *Engine) ResetEvents() {
 func (e *Engine) emit(ev Event) {
 	e.mu.Lock()
 	e.events = append(e.events, ev)
+	sink := e.EventSink
 	e.mu.Unlock()
+	if sink != nil {
+		e.sinkMu.Lock()
+		sink(ev)
+		e.sinkMu.Unlock()
+	}
 }
 
 type actKind uint8
@@ -127,16 +142,32 @@ type stopSignal struct{}
 // consecutive Run calls on the same engine (startSlot), so staged protocols
 // measure cumulative time; use a fresh engine for independent runs.
 func (e *Engine) Run(programs []Program) (slots int, err error) {
-	return e.run(programs, 0)
+	return e.run(context.Background(), programs, 0)
+}
+
+// RunContext is like Run but aborts the round loop as soon as ctx is
+// cancelled, returning ctx.Err(). Cancellation is observed between slots and
+// while waiting for node actions, so it takes effect promptly even during
+// long schedules.
+func (e *Engine) RunContext(ctx context.Context, programs []Program) (slots int, err error) {
+	return e.run(ctx, programs, 0)
 }
 
 // RunFrom is like Run but starts the slot counter at startSlot, for staged
 // pipelines that want globally consistent event timestamps.
 func (e *Engine) RunFrom(startSlot int, programs []Program) (slots int, err error) {
-	return e.run(programs, startSlot)
+	return e.run(context.Background(), programs, startSlot)
 }
 
-func (e *Engine) run(programs []Program, startSlot int) (int, error) {
+// RunFromContext combines RunFrom and RunContext.
+func (e *Engine) RunFromContext(ctx context.Context, startSlot int, programs []Program) (slots int, err error) {
+	return e.run(ctx, programs, startSlot)
+}
+
+func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := e.field.N()
 	if len(programs) != n {
 		return 0, fmt.Errorf("sim: %d programs for %d nodes", len(programs), n)
@@ -219,6 +250,10 @@ func (e *Engine) run(programs []Program, startSlot int) (int, error) {
 			abort()
 			return slot - startSlot, fmt.Errorf("sim: exceeded MaxSlots = %d with %d nodes still live", maxSlots, nActive)
 		}
+		if err := ctx.Err(); err != nil {
+			abort()
+			return slot - startSlot, err
+		}
 		// Collect one action (or termination) from every live node.
 		for i := 0; i < n; i++ {
 			if !active[i] {
@@ -232,6 +267,9 @@ func (e *Engine) run(programs []Program, startSlot int) (int, error) {
 				active[i] = false
 				nActive--
 				pending[i] = action{kind: actIdle}
+			case <-ctx.Done():
+				abort()
+				return slot - startSlot, ctx.Err()
 			}
 		}
 		panicMu.Lock()

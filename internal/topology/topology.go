@@ -9,7 +9,15 @@ import (
 	"math/rand"
 
 	"mcnet/internal/geo"
+	"mcnet/internal/rng"
 )
+
+// LayoutRand derives the topology-generation stream from a run seed, kept
+// separate from the protocol seed space. Both the experiment suite and the
+// public facade use it, so equal seeds yield equal layouts everywhere.
+func LayoutRand(seed uint64) *rand.Rand {
+	return rng.New(rng.Mix(seed, 0x70706f6c6f6779)) // "topology"
+}
 
 // Uniform places n points uniformly at random in a width × height rectangle.
 func Uniform(r *rand.Rand, n int, width, height float64) []geo.Point {
@@ -20,16 +28,23 @@ func Uniform(r *rand.Rand, n int, width, height float64) []geo.Point {
 	return pts
 }
 
+// UniformSide returns the square side that gives an expected targetDegree
+// radius-neighbors for n uniform points, plus the sanitized degree actually
+// used (out-of-range targets fall back to min(12, n-1)).
+func UniformSide(n int, radius, targetDegree float64) (side, degree float64) {
+	if targetDegree <= 0 || targetDegree > float64(n-1) {
+		targetDegree = math.Min(12, float64(n-1))
+	}
+	area := float64(n) * math.Pi * radius * radius / targetDegree
+	return math.Sqrt(area), targetDegree
+}
+
 // UniformDegree places n points uniformly in a square sized so that the
 // expected number of radius-neighbors of an interior point is approximately
 // targetDegree. It is the workhorse topology for aggregation experiments:
 // fixing targetDegree keeps Δ roughly constant as n grows.
 func UniformDegree(r *rand.Rand, n int, radius, targetDegree float64) []geo.Point {
-	if targetDegree <= 0 || targetDegree > float64(n-1) {
-		targetDegree = math.Min(12, float64(n-1))
-	}
-	area := float64(n) * math.Pi * radius * radius / targetDegree
-	side := math.Sqrt(area)
+	side, _ := UniformSide(n, radius, targetDegree)
 	return Uniform(r, n, side, side)
 }
 
@@ -47,6 +62,20 @@ func PerturbedGrid(r *rand.Rand, n int, spacing, jitter float64) []geo.Point {
 		}
 	}
 	return pts
+}
+
+// Crowd places n points inside one square of half-width rc/2 around the
+// origin (node 0 sits at the origin): a single-cluster, Δ = n-1 workload
+// isolating the Δ/F term when rc is the model's cluster radius.
+func Crowd(r *rand.Rand, n int, rc float64) []geo.Point {
+	pos := make([]geo.Point, n)
+	for i := 1; i < n; i++ {
+		pos[i] = geo.Point{
+			X: (r.Float64()*2 - 1) * rc / 2,
+			Y: (r.Float64()*2 - 1) * rc / 2,
+		}
+	}
+	return pos
 }
 
 // Hotspot places clusters of points: centers uniform in a span × span square,

@@ -1,0 +1,437 @@
+package mcnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mcnet/internal/coloring"
+	"mcnet/internal/core"
+	"mcnet/internal/geo"
+	"mcnet/internal/graph"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+)
+
+// Network is the public entry point: a fixed node deployment under the SINR
+// model, ready to run the paper's protocols. Build one with New, then call
+// Aggregate or Color; every run is a deterministic function of the
+// construction options (topology, seed, SINR parameters).
+//
+// A Network is safe for concurrent use; each run simulates on its own
+// engine.
+type Network struct {
+	params model.Params
+	topo   Topology
+	seed   uint64
+	pos    []geo.Point
+	cfg    core.Config
+	plan   *core.Plan
+
+	maxSlots int
+
+	mu        sync.Mutex
+	observers []func(Event)
+	// dispatchMu serializes observer calls across concurrent runs, so one
+	// registered observer never runs reentrantly even when two Aggregate
+	// calls (each with its own engine) overlap.
+	dispatchMu sync.Mutex
+}
+
+// New builds a network of n nodes. Defaults: 4 channels, the Crowd
+// topology, seed 1, the paper's standard SINR parameters (α=3, β=1.5,
+// R_T=1), and pipeline sizing (Δ̂, φ, hop bound) derived from the topology —
+// see the options for overrides. Topologies with an intrinsic size (e.g.
+// Hotspot) may override n; N reports the actual count.
+func New(n int, opts ...Option) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("mcnet: n = %d must be ≥ 2", n)
+	}
+	s := defaultSettings()
+	for _, opt := range opts {
+		if err := opt(&s); err != nil {
+			return nil, err
+		}
+	}
+	if v, ok := s.topo.(topologyValidator); ok {
+		if err := v.validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	nEst := s.nEstimate
+	if nEst == 0 {
+		nEst = n
+	}
+	p := model.Params{
+		Alpha:     s.alpha,
+		Beta:      s.beta,
+		Noise:     s.noise,
+		Power:     s.beta * s.noise, // R_T = (P/(β·N))^{1/α} = 1
+		Epsilon:   s.epsilon,
+		Channels:  s.channels,
+		NEstimate: nEst,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	g := geometryOf(p)
+	pts := s.topo.Layout(n, s.seed, g)
+	if len(pts) < 2 {
+		return nil, fmt.Errorf("mcnet: topology %q produced %d nodes, need ≥ 2", s.topo.Name(), len(pts))
+	}
+	if len(pts) != n {
+		n = len(pts)
+		if s.nEstimate == 0 {
+			p.NEstimate = n
+		}
+	}
+
+	// Sizing: topology-derived defaults, generic fallbacks for zero fields,
+	// explicit options last.
+	d := s.topo.Defaults(n, g)
+	if d.DeltaHat <= 0 {
+		d.DeltaHat = n
+	}
+	if d.PhiMax <= 0 {
+		d.PhiMax = 10
+	}
+	if d.HopBound <= 0 {
+		d.HopBound = 8
+	}
+	if s.deltaHat > 0 {
+		d.DeltaHat = s.deltaHat
+	}
+	if s.phiMax > 0 {
+		d.PhiMax = s.phiMax
+	}
+	if s.hopBound > 0 {
+		d.HopBound = s.hopBound
+	}
+
+	cfg := core.DefaultConfig(p)
+	cfg.DeltaHat = min(d.DeltaHat, n)
+	cfg.PhiMax = d.PhiMax
+	cfg.HopBound = d.HopBound
+
+	return &Network{
+		params:   p,
+		topo:     s.topo,
+		seed:     s.seed,
+		pos:      toGeo(pts),
+		cfg:      cfg,
+		plan:     core.NewPlan(p, cfg),
+		maxSlots: s.maxSlots,
+	}, nil
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return len(nw.pos) }
+
+// Channels returns the channel count F.
+func (nw *Network) Channels() int { return nw.params.Channels }
+
+// Seed returns the run seed.
+func (nw *Network) Seed() uint64 { return nw.seed }
+
+// TopologyName returns the topology's name.
+func (nw *Network) TopologyName() string { return nw.topo.Name() }
+
+// Positions returns the node coordinates.
+func (nw *Network) Positions() []Point { return fromGeo(nw.pos) }
+
+// Geometry returns the radii derived from the SINR parameters.
+func (nw *Network) Geometry() Geometry { return geometryOf(nw.params) }
+
+// geometryOf is the single params → Geometry mapping, shared by New (for
+// topology layout/sizing) and Network.Geometry.
+func geometryOf(p model.Params) Geometry {
+	return Geometry{
+		TransmissionRange: p.RT(),
+		CommRadius:        p.REps(),
+		ClusterRadius:     p.ClusterRadius(),
+	}
+}
+
+// Stats measures the communication graph induced by the layout at R_ε.
+func (nw *Network) Stats() GraphStats {
+	g := graph.Build(nw.pos, nw.params.REps())
+	return GraphStats{
+		MaxDegree: g.MaxDegree(),
+		AvgDegree: g.AvgDegree(),
+		Connected: g.Connected(),
+		Diameter:  g.DiameterApprox(),
+	}
+}
+
+// Plan exposes the derived pipeline sizing and stage budgets.
+func (nw *Network) Plan() PlanInfo {
+	return PlanInfo{
+		DeltaHat:    nw.cfg.DeltaHat,
+		PhiMax:      nw.cfg.PhiMax,
+		HopBound:    nw.cfg.HopBound,
+		BuildSlots:  nw.plan.Offsets.Followers,
+		BudgetSlots: nw.plan.Offsets.End,
+		Stages:      stageWindows(nw.plan),
+	}
+}
+
+// Events registers an observer that receives every milestone Event as runs
+// emit them. Calls are serialized but arrive on simulator goroutines; the
+// observer must be fast and must not call back into the Network.
+func (nw *Network) Events(fn func(Event)) {
+	if fn == nil {
+		return
+	}
+	nw.mu.Lock()
+	nw.observers = append(nw.observers, fn)
+	nw.mu.Unlock()
+}
+
+// newEngine builds a per-run engine with event streaming attached; callers
+// install their own Trace for slot and channel accounting.
+func (nw *Network) newEngine() *sim.Engine {
+	e := sim.NewEngine(phy.NewField(nw.params, nw.pos), nw.seed)
+	if nw.maxSlots > 0 {
+		e.MaxSlots = nw.maxSlots
+	}
+	nw.mu.Lock()
+	observers := make([]func(Event), len(nw.observers))
+	copy(observers, nw.observers)
+	nw.mu.Unlock()
+	if len(observers) > 0 {
+		e.EventSink = func(ev sim.Event) {
+			pub := Event{Slot: ev.Slot, Node: ev.Node, Name: ev.Name, Value: ev.Value}
+			nw.dispatchMu.Lock()
+			defer nw.dispatchMu.Unlock()
+			for _, fn := range observers {
+				fn(pub)
+			}
+		}
+	}
+	return e
+}
+
+// Aggregate runs the full multichannel pipeline: structure construction
+// followed by data aggregation of values (one per node) under op. The run
+// aborts promptly with ctx.Err() if ctx is cancelled.
+func (nw *Network) Aggregate(ctx context.Context, values []int64, op Aggregator) (*AggregateResult, error) {
+	n := nw.N()
+	if len(values) != n {
+		return nil, fmt.Errorf("mcnet: %d values for %d nodes", len(values), n)
+	}
+	if op == nil {
+		return nil, fmt.Errorf("mcnet: nil aggregator")
+	}
+
+	busySlots := make([]int, nw.params.Channels)
+	seen := make([]bool, nw.params.Channels)
+	slots := 0
+	e := nw.newEngine()
+	e.Trace = func(_ int, txs []phy.Tx, _ []phy.Rx, _ []phy.Reception) {
+		slots++
+		for i := range seen {
+			seen[i] = false
+		}
+		for _, tx := range txs {
+			if tx.Channel >= 0 && tx.Channel < len(seen) && !seen[tx.Channel] {
+				seen[tx.Channel] = true
+				busySlots[tx.Channel]++
+			}
+		}
+	}
+
+	aop := toOp(op)
+	res, err := core.RunContext(ctx, e, nw.plan, values, aop, nw.seed)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &AggregateResult{
+		Value:       aop.Fold(values),
+		Nodes:       make([]NodeResult, n),
+		Slots:       slots,
+		BudgetSlots: nw.plan.Offsets.End,
+		BuildSlots:  nw.plan.Offsets.Followers,
+	}
+	for i, r := range res {
+		out.Nodes[i] = NodeResult{
+			Value:        r.Value,
+			Informed:     r.Ok,
+			IsDominator:  r.IsDominator,
+			IsReporter:   r.IsReporter,
+			Dominator:    r.Dominator,
+			ClusterColor: r.Color,
+			SizeEstimate: r.SizeEst,
+			Channel:      r.Channel,
+		}
+		switch {
+		case r.IsDominator:
+			out.Dominators++
+		case r.IsReporter:
+			out.Reporters++
+		default:
+			out.Followers++
+		}
+		if r.Ok {
+			out.Informed++
+			if r.Value == out.Value {
+				out.Exact++
+			}
+		}
+	}
+
+	events := e.Events()
+	aggStart := nw.plan.Offsets.Followers
+	lastAck, lastDone := 0, 0
+	for _, ev := range events {
+		switch ev.Name {
+		case EventAcked:
+			if ev.Slot > lastAck {
+				lastAck = ev.Slot
+			}
+		case EventBackboneAgg, EventBackboneResult:
+			if ev.Slot > lastDone {
+				lastDone = ev.Slot
+			}
+		}
+	}
+	if lastAck > 0 {
+		out.AckSlots = lastAck - aggStart
+	}
+	if lastDone > 0 {
+		out.AggSlots = lastDone - aggStart
+	}
+	out.Stages = observeStages(stageWindows(nw.plan), events)
+	out.ChannelUtilization = make([]float64, len(busySlots))
+	if slots > 0 {
+		for i, b := range busySlots {
+			out.ChannelUtilization[i] = float64(b) / float64(slots)
+		}
+	}
+	return out, nil
+}
+
+// Color runs structure construction followed by the Sec. 7 node-coloring
+// procedures: every node receives a color such that no two
+// communication-graph neighbors share one, with O(Δ) colors. The run aborts
+// promptly with ctx.Err() if ctx is cancelled.
+func (nw *Network) Color(ctx context.Context) (*ColorResult, error) {
+	n := nw.N()
+	slots := 0
+	e := nw.newEngine()
+	e.Trace = func(int, []phy.Tx, []phy.Rx, []phy.Reception) { slots++ }
+
+	res, err := coloring.RunContext(ctx, e, nw.plan, coloring.DefaultConfig(), nw.seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &ColorResult{Nodes: make([]NodeColor, n), Slots: slots}
+	for i, r := range res {
+		out.Nodes[i] = NodeColor{
+			Color:        r.Color,
+			Index:        r.Index,
+			ClusterColor: r.ClusterColor,
+			IsDominator:  r.IsDominator,
+			IsReporter:   r.IsReporter,
+		}
+	}
+	out.Conflicts, out.Uncolored, out.Palette = coloring.Validate(nw.pos, nw.params.REps(), res)
+	last := 0
+	for _, ev := range e.Events() {
+		if ev.Name == EventColored && ev.Slot > last {
+			last = ev.Slot
+		}
+	}
+	if last > 0 {
+		out.ColorSlots = last - nw.plan.Offsets.Followers
+	}
+	return out, nil
+}
+
+// VerifyTDMA uses a coloring as a TDMA broadcast schedule — in cycle slot
+// t, nodes with color t transmit on one channel — and resolves every slot
+// over the SINR layer, reporting how many directed communication-graph
+// links decoded their neighbor's broadcast. A proper coloring delivers
+// every link in one cycle.
+func (nw *Network) VerifyTDMA(colors []int) (TDMAReport, error) {
+	n := nw.N()
+	if len(colors) != n {
+		return TDMAReport{}, fmt.Errorf("mcnet: %d colors for %d nodes", len(colors), n)
+	}
+	maxColor := 0
+	for _, c := range colors {
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	g := graph.Build(nw.pos, nw.params.REps())
+	field := phy.NewField(nw.params.WithChannels(1), nw.pos)
+	rep := TDMAReport{Cycle: maxColor + 1}
+	for slot := 0; slot <= maxColor; slot++ {
+		var txs []phy.Tx
+		var rxs []phy.Rx
+		for i, c := range colors {
+			if c == slot {
+				txs = append(txs, phy.Tx{Node: i, Channel: 0, Msg: i})
+			} else {
+				rxs = append(rxs, phy.Rx{Node: i, Channel: 0})
+			}
+		}
+		recs := field.Resolve(txs, rxs)
+		for k, rec := range recs {
+			if !rec.Decoded {
+				continue
+			}
+			for _, nb := range g.Neighbors(rxs[k].Node) {
+				if int(nb) == rec.From {
+					rep.Delivered++
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		rep.Links += g.Degree(i)
+	}
+	return rep, nil
+}
+
+// stageWindows lists the budgeted slot window of every pipeline stage.
+func stageWindows(pl *core.Plan) []StageReport {
+	o := pl.Offsets
+	mk := func(name string, start, end int) StageReport {
+		return StageReport{Name: name, Start: start, End: end, LastEvent: -1}
+	}
+	return []StageReport{
+		mk("dominate", o.Dominate, o.Color),
+		mk("color", o.Color, o.Announce),
+		mk("announce", o.Announce, o.CSA),
+		mk("csa", o.CSA, o.Elect),
+		mk("elect", o.Elect, o.Followers),
+		mk("followers", o.Followers, o.Tree),
+		mk("tree", o.Tree, o.Backbone),
+		mk("backbone", o.Backbone, o.Inform),
+		mk("inform", o.Inform, o.End),
+	}
+}
+
+// observeStages fills each stage window with the milestone events that
+// fired inside it. Events emitted after a program consumed its whole
+// schedule are stamped with the budget end and belong to the final stage.
+func observeStages(stages []StageReport, events []sim.Event) []StageReport {
+	for _, ev := range events {
+		for i := range stages {
+			last := i == len(stages)-1
+			if ev.Slot >= stages[i].Start && (ev.Slot < stages[i].End || last && ev.Slot == stages[i].End) {
+				stages[i].Events++
+				if ev.Slot > stages[i].LastEvent {
+					stages[i].LastEvent = ev.Slot
+				}
+				break
+			}
+		}
+	}
+	return stages
+}

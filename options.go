@@ -1,0 +1,152 @@
+package mcnet
+
+import "fmt"
+
+// settings collects everything New derives a Network from. Options mutate
+// it; zero-valued fields fall back to documented defaults.
+type settings struct {
+	channels  int
+	seed      uint64
+	nEstimate int
+	topo      Topology
+
+	alpha, beta, noise float64
+	epsilon            float64
+
+	deltaHat, phiMax, hopBound int // 0 = derive from topology
+	maxSlots                   int
+}
+
+func defaultSettings() settings {
+	return settings{
+		channels: 4,
+		seed:     1,
+		topo:     Crowd,
+		alpha:    3.0,
+		beta:     1.5,
+		noise:    1.0,
+		epsilon:  0.3,
+	}
+}
+
+// Option configures a Network under construction.
+type Option func(*settings) error
+
+// Channels sets the number F of non-overlapping radio channels (default 4).
+func Channels(f int) Option {
+	return func(s *settings) error {
+		if f < 1 {
+			return fmt.Errorf("mcnet: channels = %d must be ≥ 1", f)
+		}
+		s.channels = f
+		return nil
+	}
+}
+
+// Seed sets the run seed (default 1). Layouts and every protocol run are
+// deterministic functions of the seed, so two Networks built with equal
+// options behave identically.
+func Seed(seed uint64) Option {
+	return func(s *settings) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithTopology selects the node placement and its derived pipeline sizing
+// (default Crowd). See Topology for the built-in generators.
+func WithTopology(t Topology) Option {
+	return func(s *settings) error {
+		if t == nil {
+			return fmt.Errorf("mcnet: topology must not be nil")
+		}
+		s.topo = t
+		return nil
+	}
+}
+
+// SINR overrides the path-loss exponent α (> 2) and decoding threshold
+// β (≥ 1). The transmission power is renormalized so R_T stays 1.
+func SINR(alpha, beta float64) Option {
+	return func(s *settings) error {
+		if alpha <= 2 {
+			return fmt.Errorf("mcnet: alpha = %v must be > 2 in the plane", alpha)
+		}
+		if beta < 1 {
+			return fmt.Errorf("mcnet: beta = %v must be ≥ 1", beta)
+		}
+		s.alpha, s.beta = alpha, beta
+		return nil
+	}
+}
+
+// Epsilon sets the communication-graph margin ε in (0, 1): links span
+// R_ε = (1-ε)·R_T (default 0.3).
+func Epsilon(eps float64) Option {
+	return func(s *settings) error {
+		if eps <= 0 || eps >= 1 {
+			return fmt.Errorf("mcnet: epsilon = %v must be in (0, 1)", eps)
+		}
+		s.epsilon = eps
+		return nil
+	}
+}
+
+// NEstimate sets the polynomial size estimate n̂ the nodes are allowed to
+// know (default: the true n). Protocols scale their round counts by ln n̂.
+func NEstimate(nHat int) Option {
+	return func(s *settings) error {
+		if nHat < 2 {
+			return fmt.Errorf("mcnet: size estimate = %d must be ≥ 2", nHat)
+		}
+		s.nEstimate = nHat
+		return nil
+	}
+}
+
+// DeltaHat overrides the derived cluster-size bound Δ̂. By default it is
+// derived from the topology (e.g. n for Crowd, measured max degree for
+// Positions).
+func DeltaHat(v int) Option {
+	return func(s *settings) error {
+		if v < 1 {
+			return fmt.Errorf("mcnet: DeltaHat = %d must be ≥ 1", v)
+		}
+		s.deltaHat = v
+		return nil
+	}
+}
+
+// PhiMax overrides the derived TDMA period (upper bound on cluster colors).
+func PhiMax(v int) Option {
+	return func(s *settings) error {
+		if v < 1 {
+			return fmt.Errorf("mcnet: PhiMax = %d must be ≥ 1", v)
+		}
+		s.phiMax = v
+		return nil
+	}
+}
+
+// HopBound overrides the derived backbone hop-diameter bound.
+func HopBound(v int) Option {
+	return func(s *settings) error {
+		if v < 1 {
+			return fmt.Errorf("mcnet: HopBound = %d must be ≥ 1", v)
+		}
+		s.hopBound = v
+		return nil
+	}
+}
+
+// MaxSlots caps a run's slot count as a safety net (default: the
+// simulator's built-in bound).
+func MaxSlots(v int) Option {
+	return func(s *settings) error {
+		if v < 1 {
+			return fmt.Errorf("mcnet: MaxSlots = %d must be ≥ 1", v)
+		}
+		s.maxSlots = v
+		return nil
+	}
+}
