@@ -1,0 +1,43 @@
+package mcnet
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// BenchmarkAggregateCrowd is the slot-hot-path trajectory benchmark: the
+// paper's motivating Crowd workload (every node inside one cluster radius,
+// Δ = n-1) run through the full Aggregate pipeline. Each iteration simulates
+// exactly benchCrowdSlots slots — runs that would finish later are cut off by
+// MaxSlots — so ns/op measures per-slot engine + SINR-resolution cost and
+// stays comparable across sizes and revisions.
+//
+// Run with: go test -bench=BenchmarkAggregateCrowd -benchtime=1x
+const benchCrowdSlots = 256
+
+func benchAggregateCrowd(b *testing.B, n int) {
+	b.Helper()
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(i + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw, err := New(n, Channels(8), MaxSlots(benchCrowdSlots))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := nw.Aggregate(context.Background(), values, Sum); err != nil &&
+			!strings.Contains(err.Error(), "MaxSlots") {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchCrowdSlots*n*b.N)/b.Elapsed().Seconds(), "node-slots/s")
+}
+
+func BenchmarkAggregateCrowd(b *testing.B) {
+	b.Run("n=1k", func(b *testing.B) { benchAggregateCrowd(b, 1024) })
+	b.Run("n=4k", func(b *testing.B) { benchAggregateCrowd(b, 4096) })
+	b.Run("n=16k", func(b *testing.B) { benchAggregateCrowd(b, 16384) })
+}

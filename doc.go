@@ -27,6 +27,21 @@
 // evaluation suite (E1–E10, ablations A1–A3) that regenerates the paper's
 // claimed bounds.
 //
+// # Performance options
+//
+// Slot resolution is the hot path and has two knobs. Parallelism sets the
+// worker count the SINR resolver fans listeners out across (default
+// GOMAXPROCS); every setting is bit-identical, it trades wall-clock time
+// only. FarFieldTolerance(ε) opts into approximate far-field aggregation:
+// transmitters are bucketed into a spatial grid and cells far from a
+// listener contribute their summed power from the cell centroid, with
+// relative error at most ε on the far-field interference term. The near
+// field always covers the transmission range, so decoding candidates are
+// evaluated exactly; runs remain deterministic for a fixed tolerance. The
+// default ε = 0 keeps resolution exact, and equal seeds replay identical
+// transcripts run over run. See README.md for the error-bound derivation
+// and when the approximation pays off.
+//
 // Everything under internal/ is implementation — the SINR physical layer,
 // the slot-synchronous simulator, and the per-stage protocols — and is not
 // importable from outside; examples/, cmd/ and the benchmarks consume only

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 
 	"mcnet/internal/agg"
 	"mcnet/internal/backbone"
@@ -77,11 +78,13 @@ func Run(e *sim.Engine, pl *Plan, values []int64, op agg.Op, seed uint64) ([]Res
 }
 
 // RunContext is like Run but aborts promptly with ctx.Err() when ctx is
-// cancelled mid-run.
+// cancelled mid-run. A values slice whose length differs from the node
+// count is an error: silently substituting zeros would corrupt the
+// aggregate while the run still "succeeds".
 func RunContext(ctx context.Context, e *sim.Engine, pl *Plan, values []int64, op agg.Op, seed uint64) ([]Result, error) {
 	n := e.Field().N()
 	if len(values) != n {
-		values = make([]int64, n)
+		return nil, fmt.Errorf("core: %d values for %d nodes", len(values), n)
 	}
 	res := make([]Result, n)
 	progs := make([]sim.Program, n)

@@ -50,9 +50,14 @@ type AggMetrics struct {
 	Dominators int
 }
 
-// RunAgg executes the pipeline once and extracts metrics.
+// RunAgg executes the pipeline once and extracts metrics. The values slice
+// must hold exactly one input per node; the pipeline rejects mismatches
+// instead of silently zero-filling.
 func RunAgg(pos []geo.Point, p model.Params, cfg core.Config, values []int64, op agg.Op, seed uint64) (AggMetrics, error) {
 	var m AggMetrics
+	if len(values) != len(pos) {
+		return m, fmt.Errorf("expt: %d values for %d nodes", len(values), len(pos))
+	}
 	m.N = len(pos)
 	g := graph.Build(pos, p.REps())
 	m.Delta = g.MaxDegree()

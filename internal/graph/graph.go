@@ -137,10 +137,13 @@ func (g *G) Diameter() int {
 	return diam
 }
 
-// DiameterApprox returns a 2-approximation of D in O(n + m) time (double
-// BFS), for large graphs where the exact computation is too slow. The
-// returned value is between D/2 and D... precisely, it is at least
-// max-eccentricity/1 from the second BFS, which is ≥ D/2.
+// DiameterApprox returns a 2-approximation of the hop diameter D in
+// O(n + m) time, for large graphs where the exact computation is too slow.
+// It runs a double BFS: one BFS from node 0 finds a farthest node, and that
+// node's eccentricity is the result. The returned value always lies in
+// [⌈D/2⌉, D] — it is an eccentricity, hence at most D, and every
+// eccentricity is at least half the diameter by the triangle inequality.
+// It returns -1 for disconnected graphs.
 func (g *G) DiameterApprox() int {
 	if g.n == 0 {
 		return 0

@@ -8,16 +8,20 @@ import (
 	"mcnet/internal/model"
 )
 
-// benchSlot builds a slot with n nodes, txFrac of them transmitting across
-// the given channels, and resolves it.
-func benchSlot(b *testing.B, n, channels int, txFrac float64) {
+// benchSlot builds a slot with n nodes spread over span×span units, txFrac
+// of them transmitting across the given channels, and resolves it under the
+// configured field.
+func benchSlot(b *testing.B, n, channels int, span, txFrac float64, configure func(*Field)) {
 	b.Helper()
 	r := rand.New(rand.NewSource(1))
 	pos := make([]geo.Point, n)
 	for i := range pos {
-		pos[i] = geo.Point{X: r.Float64() * 5, Y: r.Float64() * 5}
+		pos[i] = geo.Point{X: r.Float64() * span, Y: r.Float64() * span}
 	}
 	f := NewField(model.Default(channels, n), pos)
+	if configure != nil {
+		configure(f)
+	}
 	var txs []Tx
 	var rxs []Rx
 	for i := 0; i < n; i++ {
@@ -33,6 +37,60 @@ func benchSlot(b *testing.B, n, channels int, txFrac float64) {
 	}
 }
 
-func BenchmarkResolve256Nodes1Channel(b *testing.B)  { benchSlot(b, 256, 1, 0.2) }
-func BenchmarkResolve256Nodes8Channels(b *testing.B) { benchSlot(b, 256, 8, 0.2) }
-func BenchmarkResolve1kNodes8Channels(b *testing.B)  { benchSlot(b, 1024, 8, 0.2) }
+func BenchmarkResolve256Nodes1Channel(b *testing.B)  { benchSlot(b, 256, 1, 5, 0.2, nil) }
+func BenchmarkResolve256Nodes8Channels(b *testing.B) { benchSlot(b, 256, 8, 5, 0.2, nil) }
+func BenchmarkResolve1kNodes8Channels(b *testing.B)  { benchSlot(b, 1024, 8, 5, 0.2, nil) }
+
+// Serial vs fan-out on the same dense slot: bit-identical outcomes, only
+// wall-clock differs (the gap requires GOMAXPROCS > 1).
+func BenchmarkResolve4kSerial(b *testing.B) {
+	benchSlot(b, 4096, 8, 10, 0.3, func(f *Field) { f.SetParallelism(1) })
+}
+func BenchmarkResolve4kParallel(b *testing.B) {
+	benchSlot(b, 4096, 8, 10, 0.3, func(f *Field) { f.SetParallelism(0) })
+}
+
+// benchClusteredSlot is the far-field target regime: crowds — many
+// same-cell transmitters — scattered over a span ≫ R_T, so each distant
+// crowd collapses into one centroid term per listener instead of hundreds
+// of pairwise powers.
+func benchClusteredSlot(b *testing.B, clusters, per, channels int, span float64, configure func(*Field)) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	n := clusters * per
+	pos := make([]geo.Point, 0, n)
+	for c := 0; c < clusters; c++ {
+		cx, cy := r.Float64()*span, r.Float64()*span
+		for k := 0; k < per; k++ {
+			pos = append(pos, geo.Point{X: cx + r.NormFloat64()*0.05, Y: cy + r.NormFloat64()*0.05})
+		}
+	}
+	f := NewField(model.Default(channels, n), pos)
+	if configure != nil {
+		configure(f)
+	}
+	var txs []Tx
+	var rxs []Rx
+	for i := 0; i < n; i++ {
+		if r.Float64() < 0.3 {
+			txs = append(txs, Tx{Node: i, Channel: r.Intn(channels), Msg: i})
+		} else {
+			rxs = append(rxs, Rx{Node: i, Channel: r.Intn(channels)})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Resolve(txs, rxs)
+	}
+}
+
+// Exact vs far-field aggregation on 32 crowds of 256 nodes across 200 R_T.
+func BenchmarkResolveHotspotsExact(b *testing.B) {
+	benchClusteredSlot(b, 32, 256, 8, 200, func(f *Field) { f.SetParallelism(1) })
+}
+func BenchmarkResolveHotspotsFarField(b *testing.B) {
+	benchClusteredSlot(b, 32, 256, 8, 200, func(f *Field) {
+		f.SetParallelism(1)
+		f.SetFarFieldTolerance(0.1)
+	})
+}

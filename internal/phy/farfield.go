@@ -1,0 +1,273 @@
+package phy
+
+import (
+	"math"
+
+	"mcnet/internal/geo"
+)
+
+// This file implements the grid-accelerated approximate resolver enabled by
+// SetFarFieldTolerance. Exact resolution scans every same-channel
+// transmitter per listener — O(|rxs|·|txs|) per slot. Here transmitters are
+// bucketed per channel into the field's spatial grid; a listener scans the
+// cells near it transmitter-by-transmitter (exactly) and folds every cell
+// beyond a cutoff into a single centroid term, cutting the per-listener cost
+// to O(near transmitters + occupied cells).
+//
+// # Error bound
+//
+// Let g be the grid cell size and w = g·√2 a cell's diagonal. The
+// aggregation point is the member mean, which lies inside the cell (the
+// cell is convex), so every transmitter in the cell is within w of it —
+// the diameter, not the half-diagonal, since members and their mean can
+// sit in opposite corners. A cell whose contents are aggregated lies
+// entirely beyond the near region, so the listener-to-centroid distance d
+// satisfies d ≥ D where
+//
+//	D = w / (1 − (1+ε)^(−1/α)),   ε = the configured tolerance.
+//
+// Each member's true distance is then in [d−w, d+w] and the centroid
+// approximation P/d^α is off by at most the factor (d/(d−w))^α ≤ 1+ε (and
+// at least (d/(d+w))^α ≥ 1/(1+ε) by the same algebra). Summing over cells,
+// the far-field interference term carries relative error at most ε. Using
+// the mean rather than the cell center keeps this worst case while being
+// more accurate in the typical case (member displacements from their mean
+// cancel at first order).
+//
+// # Exactness of decoding candidates
+//
+// The near region always extends at least to the transmission range
+// R_T = (P/(βN))^{1/α}: any transmitter beyond R_T has received power below
+// β·N and can never satisfy the SINR threshold, so the strongest decodable
+// candidate is always scanned exactly. Decode outcomes can therefore differ
+// from exact mode only when the exact SINR lies within the far-field error
+// of the threshold β — interference and RSSI are otherwise within relative
+// error ε, and which message decodes is unaffected.
+type farField struct {
+	grid    *geo.Grid
+	cellCol []int32 // per node, its grid cell column
+	cellRow []int32 // per node, its grid cell row
+	// nearRings is the cell-coordinate Chebyshev radius scanned exactly
+	// around a listener; everything farther is centroid-aggregated.
+	nearRings int32
+
+	// Per-slot scratch, rebuilt by bucket for every Resolve call: occupied
+	// cells per channel, with members chained through nextTx.
+	cellsByChannel [][]txCell
+	nextTx         []int32
+	cellStamp      []uint64
+	cellSlot       []int32
+	stamp          uint64
+}
+
+// txCell aggregates one occupied grid cell on one channel for one slot.
+// During bucketing sumX/sumY accumulate member positions; bucket's second
+// pass rewrites them into the centroid, so listeners read it directly.
+type txCell struct {
+	col, row int32
+	head     int32 // first member tx index (chained via nextTx), -1 ends
+	count    int32
+	sumX     float64 // centroid X after bucket returns
+	sumY     float64 // centroid Y after bucket returns
+}
+
+// SetFarFieldTolerance configures approximate far-field aggregation: cells
+// far enough from a listener contribute their summed power from the cell
+// centroid instead of per transmitter, with relative error at most tol on
+// the far-field interference term (see the bound above). tol = 0 (the
+// default) restores exact resolution. The approximation requires the
+// Euclidean metric; fields built over a custom metric panic.
+//
+// Determinism is preserved: equal slots resolve to equal receptions for a
+// fixed tolerance. Only tolerance zero is transcript-compatible with exact
+// mode.
+func (f *Field) SetFarFieldTolerance(tol float64) {
+	if tol < 0 || math.IsNaN(tol) || math.IsInf(tol, 0) {
+		panic("phy: far-field tolerance must be finite and ≥ 0")
+	}
+	if tol == 0 {
+		f.farTol = 0
+		return
+	}
+	if f.dist != nil {
+		panic("phy: far-field approximation requires the Euclidean metric")
+	}
+	f.farTol = tol
+	if f.far == nil {
+		f.far = newFarField(f)
+	}
+	f.far.setCutoff(f, tol)
+}
+
+// farFieldCellFrac sizes grid cells at R_T/2; geo.NewGrid coarsens further
+// if the deployment's extent would need too many cells.
+const farFieldCellFrac = 0.5
+
+func newFarField(f *Field) *farField {
+	grid := geo.NewGrid(f.pos, f.params.RT()*farFieldCellFrac)
+	cols, rows := grid.Dims()
+	ff := &farField{
+		grid:           grid,
+		cellCol:        make([]int32, len(f.pos)),
+		cellRow:        make([]int32, len(f.pos)),
+		cellsByChannel: make([][]txCell, f.params.Channels),
+		cellStamp:      make([]uint64, cols*rows),
+		cellSlot:       make([]int32, cols*rows),
+	}
+	for i, p := range f.pos {
+		c, r := grid.CellCoord(p)
+		ff.cellCol[i], ff.cellRow[i] = int32(c), int32(r)
+	}
+	return ff
+}
+
+// setCutoff derives the near-region radius from the tolerance: the larger
+// of the error-bound distance D and the transmission range R_T, in cells.
+func (ff *farField) setCutoff(f *Field, tol float64) {
+	cell := ff.grid.CellSize()
+	diam := cell * math.Sqrt2 // w in the error-bound derivation above
+	shrink := 1 - math.Pow(1+tol, -1/f.params.Alpha)
+	d := diam / shrink // +Inf when 1+tol rounds to 1
+	if rt := f.params.RT(); d < rt {
+		d = rt
+	}
+	// Clamp the ring count to the grid's extent before the integer
+	// conversion: tiny tolerances yield cutoffs beyond the deployment (or
+	// +Inf), which must degrade to fully exact resolution, not overflow
+	// the conversion and go negative.
+	cols, rows := ff.grid.Dims()
+	span := float64(max(cols, rows))
+	rings := math.Ceil(d / cell)
+	if !(rings < span) { // also catches NaN/Inf
+		rings = span
+	}
+	ff.nearRings = int32(rings) + 1
+}
+
+// bucket groups this slot's transmitters by (channel, grid cell),
+// accumulating per-cell counts and position sums for centroid terms. All
+// state is per-Field scratch; nothing allocates once the buffers have grown
+// to the slot size. Cells appear in first-transmitter order and members are
+// chained in reverse scan order — both deterministic, so repeated runs
+// resolve identically.
+func (ff *farField) bucket(f *Field, txs []Tx) {
+	if cap(ff.nextTx) < len(txs) {
+		ff.nextTx = make([]int32, len(txs))
+	}
+	ff.nextTx = ff.nextTx[:len(txs)]
+	cols, _ := ff.grid.Dims()
+	for c, chTxs := range f.perChannel {
+		cells := ff.cellsByChannel[c][:0]
+		ff.stamp++
+		for _, ti := range chTxs {
+			node := txs[ti].Node
+			col, row := ff.cellCol[node], ff.cellRow[node]
+			ci := int(row)*cols + int(col)
+			var k int32
+			if ff.cellStamp[ci] != ff.stamp {
+				ff.cellStamp[ci] = ff.stamp
+				k = int32(len(cells))
+				ff.cellSlot[ci] = k
+				cells = append(cells, txCell{col: col, row: row, head: -1})
+			} else {
+				k = ff.cellSlot[ci]
+			}
+			cl := &cells[k]
+			p := f.pos[node]
+			ff.nextTx[ti] = cl.head
+			cl.head = int32(ti)
+			cl.count++
+			cl.sumX += p.X
+			cl.sumY += p.Y
+		}
+		for k := range cells {
+			cnt := float64(cells[k].count)
+			cells[k].sumX /= cnt
+			cells[k].sumY /= cnt
+		}
+		ff.cellsByChannel[c] = cells
+	}
+}
+
+// resolveOneApprox resolves one listener against the bucketed slot: cells
+// within nearRings (Chebyshev, in cell coordinates) are scanned per
+// transmitter with the exact pairwise power; farther cells contribute
+// count·P/d(centroid)^α. Cell-coordinate distance over-covers the metric
+// cutoff (a cell at Chebyshev distance ≤ nearRings may still be far), which
+// only enlarges the exact region and never weakens the error bound.
+func (f *Field) resolveOneApprox(rx Rx, txs []Tx) Reception {
+	ff := f.far
+	cells := ff.cellsByChannel[rx.Channel]
+	listener := f.pos[rx.Node]
+	lcol, lrow := ff.cellCol[rx.Node], ff.cellRow[rx.Node]
+	lx, ly := listener.X, listener.Y
+
+	var (
+		total    float64
+		best     = -1
+		bestPow  float64
+		infCount int
+	)
+	// α = 3 (the default) gets the same inlined-cube arithmetic as the
+	// exact resolver's hot path; other exponents route through powerAt.
+	cube := f.alphaInt == 3
+	power := f.power
+	for k := range cells {
+		cl := &cells[k]
+		dc, dr := cl.col-lcol, cl.row-lrow
+		if dc < 0 {
+			dc = -dc
+		}
+		if dr < 0 {
+			dr = -dr
+		}
+		if dr < dc {
+			dr = dc
+		}
+		if dr <= ff.nearRings {
+			for ti := cl.head; ti >= 0; ti = ff.nextTx[ti] {
+				tx := &txs[ti]
+				if tx.Node == rx.Node {
+					continue
+				}
+				q := f.pos[tx.Node]
+				dx, dy := lx-q.X, ly-q.Y
+				var pw float64
+				if cube {
+					d := math.Sqrt(dx*dx + dy*dy)
+					if d <= 0 {
+						pw = math.Inf(1)
+						infCount++
+					} else {
+						pw = power / (d * d * d)
+					}
+				} else {
+					pw = f.powerAt(math.Sqrt(dx*dx + dy*dy))
+					if math.IsInf(pw, 1) {
+						infCount++
+					}
+				}
+				total += pw
+				if best == -1 || pw > bestPow {
+					best, bestPow = int(ti), pw
+				}
+			}
+			continue
+		}
+		dx, dy := lx-cl.sumX, ly-cl.sumY
+		if cube {
+			d := math.Sqrt(dx*dx + dy*dy)
+			total += float64(cl.count) * (power / (d * d * d))
+		} else {
+			total += float64(cl.count) * f.powerAt(math.Sqrt(dx*dx+dy*dy))
+		}
+	}
+	// A far-field-only slot (no near transmitter) cannot decode — every far
+	// transmitter is beyond R_T — but the listener must still sense the
+	// aggregated power, which decide handles via best == -1 only when
+	// total is also zero. Report the aggregate as undecodable interference.
+	if best == -1 {
+		return Reception{From: -1, Interference: total}
+	}
+	return f.decide(txs, total, bestPow, best, infCount)
+}

@@ -13,10 +13,34 @@
 // Listeners always measure total received power (the RSSI primitive of
 // Sec. 2), which upper layers use for carrier sense, clear-reception
 // detection (Definition 4) and distance estimation.
+//
+// # Performance
+//
+// Resolve is the simulator's hot path: every slot of every protocol run
+// passes through it. Three mechanisms keep it fast without changing results:
+//
+//   - Listeners resolve independently, so Resolve fans them out across
+//     worker goroutines, by default as many as GOMAXPROCS
+//     (SetParallelism). Outcomes are bit-identical for every worker count.
+//   - Under the default Euclidean metric with an integral path-loss
+//     exponent, per-pair powers use an inlined distance and an integer
+//     power identity that reproduces math.Pow bit-for-bit (see ipow), so
+//     transcripts match the generic path exactly.
+//   - The returned Reception slice and all per-channel index buffers are
+//     per-Field scratch, reused across calls: serial resolution allocates
+//     nothing per slot (the parallel path spawns its short-lived workers).
+//
+// Exact resolution is the default and scans every same-channel transmitter
+// per listener — O(|rxs|·|txs|) per slot. For large fields an approximate
+// mode (SetFarFieldTolerance) buckets transmitters into a spatial grid and
+// aggregates distant cells from their centroids with a bounded relative
+// error; see farfield.go for the bound and its derivation.
 package phy
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"mcnet/internal/geo"
 	"mcnet/internal/model"
@@ -59,38 +83,67 @@ type Reception struct {
 func (r Reception) RSSI() float64 { return r.SignalPower + r.Interference }
 
 // Field resolves slots for a fixed node placement under fixed parameters.
+//
+// A Field is not safe for concurrent use: Resolve reuses internal scratch
+// buffers between calls (each engine builds its own Field).
 type Field struct {
 	params model.Params
 	pos    []geo.Point
-	dist   geo.Metric
+	dist   geo.Metric // nil selects the built-in Euclidean fast path
 	jammed []bool
+
+	power    float64 // params.Power, hoisted for the scan loops
+	alphaInt int     // α when integral in [1, 64], else 0
+
+	// parallelism is the worker count for Resolve; 0 means GOMAXPROCS.
+	parallelism int
+
+	// farTol enables grid-accelerated far-field aggregation when positive;
+	// see SetFarFieldTolerance. The remaining fields live in farfield.go.
+	farTol float64
+	far    *farField
 
 	// perChannel is reusable scratch space: transmitter indices by channel.
 	perChannel [][]int
+	// out is the Reception slice returned by Resolve, reused across calls.
+	out []Reception
 }
 
 // NewField creates a resolver for the given placement under the Euclidean
 // metric. The position slice is retained; callers must not mutate it during
 // use.
 func NewField(p model.Params, pos []geo.Point) *Field {
-	return NewFieldMetric(p, pos, geo.Euclidean)
+	return NewFieldMetric(p, pos, nil)
 }
 
 // NewFieldMetric creates a resolver under an arbitrary fading metric
 // (footnote 1 of the paper: the results extend to metrics whose doubling
 // dimension is below α). Protocols are metric-agnostic — they only observe
-// received powers — so the whole stack runs unchanged.
+// received powers — so the whole stack runs unchanged. A nil metric selects
+// the Euclidean metric and enables its inlined fast path; passing
+// geo.Euclidean explicitly is equivalent but resolves through the generic
+// (slower) loop.
 func NewFieldMetric(p model.Params, pos []geo.Point, m geo.Metric) *Field {
-	if m == nil {
-		m = geo.Euclidean
-	}
 	return &Field{
 		params:     p,
 		pos:        pos,
 		dist:       m,
 		jammed:     make([]bool, p.Channels),
+		power:      p.Power,
+		alphaInt:   integralAlpha(p.Alpha),
 		perChannel: make([][]int, p.Channels),
 	}
+}
+
+// SetParallelism sets how many workers Resolve may fan listeners out
+// across: 0 (the default) sizes the pool by runtime.GOMAXPROCS, 1 forces
+// serial resolution. Outcomes are bit-identical for every setting — only
+// wall-clock time changes — because listeners are resolved independently.
+func (f *Field) SetParallelism(workers int) {
+	if workers < 0 {
+		workers = 0
+	}
+	f.parallelism = workers
 }
 
 // Jam marks a channel as disrupted (the adversarial setting of the paper's
@@ -110,8 +163,29 @@ func (f *Field) Positions() []geo.Point { return f.pos }
 // N returns the number of nodes in the field.
 func (f *Field) N() int { return len(f.pos) }
 
+// minParallelWork bounds when Resolve spawns workers: below this many
+// listener×transmitter pairs the fan-out overhead outweighs the win.
+const minParallelWork = 1 << 13
+
+// workersFor picks the worker count for one Resolve call.
+func (f *Field) workersFor(nRx, nTx int) int {
+	w := f.parallelism
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > nRx {
+		w = nRx
+	}
+	if w <= 1 || nRx*nTx < minParallelWork {
+		return 1
+	}
+	return w
+}
+
 // Resolve computes the reception outcome for every listener given the
-// transmissions of one slot. The returned slice is parallel to rxs.
+// transmissions of one slot. The returned slice is parallel to rxs and is
+// only valid until the next Resolve call on this field (it is reused
+// scratch); callers that retain receptions must copy them.
 //
 // Channels are numbered 0..F-1; transmissions or listens on out-of-range
 // channels panic, as they indicate a protocol bug.
@@ -125,25 +199,58 @@ func (f *Field) Resolve(txs []Tx, rxs []Rx) []Reception {
 		}
 		f.perChannel[tx.Channel] = append(f.perChannel[tx.Channel], i)
 	}
-
-	out := make([]Reception, len(rxs))
-	for i, rx := range rxs {
+	// Validate listen channels up front so protocol bugs panic on the
+	// caller's goroutine, not inside a worker.
+	for _, rx := range rxs {
 		if rx.Channel < 0 || rx.Channel >= f.params.Channels {
 			panic("phy: listen on invalid channel")
 		}
-		out[i] = f.resolveOne(rx, txs, f.perChannel[rx.Channel])
-		if f.jammed[rx.Channel] && out[i].Decoded {
-			// A jammed channel delivers nothing; the signal is still sensed.
-			out[i].Interference += out[i].SignalPower
-			out[i].Decoded, out[i].From, out[i].Msg = false, -1, nil
-			out[i].SignalPower, out[i].SINR = 0, 0
+	}
+	if cap(f.out) < len(rxs) {
+		f.out = make([]Reception, len(rxs))
+	}
+	out := f.out[:len(rxs)]
+
+	approx := f.farTol > 0
+	if approx {
+		f.far.bucket(f, txs)
+	}
+	resolveRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rx := rxs[i]
+			if approx {
+				out[i] = f.resolveOneApprox(rx, txs)
+			} else {
+				out[i] = f.resolveOne(rx, txs, f.perChannel[rx.Channel])
+			}
+			if f.jammed[rx.Channel] && out[i].Decoded {
+				// A jammed channel delivers nothing; the signal is still
+				// sensed.
+				out[i].Interference += out[i].SignalPower
+				out[i].Decoded, out[i].From, out[i].Msg = false, -1, nil
+				out[i].SignalPower, out[i].SINR = 0, 0
+			}
 		}
+	}
+	if w := f.workersFor(len(rxs), len(txs)); w > 1 {
+		var wg sync.WaitGroup
+		chunk := (len(rxs) + w - 1) / w
+		for lo := 0; lo < len(rxs); lo += chunk {
+			hi := min(lo+chunk, len(rxs))
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				resolveRange(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		resolveRange(0, len(rxs))
 	}
 	return out
 }
 
 func (f *Field) resolveOne(rx Rx, txs []Tx, chTxs []int) Reception {
-	rec := Reception{From: -1}
 	listener := f.pos[rx.Node]
 
 	var (
@@ -152,22 +259,64 @@ func (f *Field) resolveOne(rx Rx, txs []Tx, chTxs []int) Reception {
 		bestPow  float64
 		infCount int
 	)
-	for _, ti := range chTxs {
-		tx := txs[ti]
-		if tx.Node == rx.Node {
-			// A node cannot hear anything while transmitting; the engine
-			// never submits both, but be safe.
-			continue
+	if f.dist == nil && f.alphaInt == 3 {
+		// Hot path: Euclidean metric with α = 3 (the default parameters).
+		// Bit-identical to the generic loop below: geo.Euclidean is exactly
+		// √(dx²+dy²), and math.Pow(d, 3) multiplies d·(d·d) by
+		// square-and-multiply, which equals (d·d)·d under round-to-nearest
+		// multiplication, so P/(d·d·d) reproduces PowerAtDistance exactly.
+		lx, ly := listener.X, listener.Y
+		power := f.power
+		for _, ti := range chTxs {
+			tx := &txs[ti]
+			if tx.Node == rx.Node {
+				// A node cannot hear anything while transmitting; the
+				// engine never submits both, but be safe.
+				continue
+			}
+			q := f.pos[tx.Node]
+			dx, dy := lx-q.X, ly-q.Y
+			d := math.Sqrt(dx*dx + dy*dy)
+			var pw float64
+			if d <= 0 {
+				pw = math.Inf(1)
+				infCount++
+			} else {
+				pw = power / (d * d * d)
+			}
+			total += pw
+			if best == -1 || pw > bestPow {
+				best, bestPow = ti, pw
+			}
 		}
-		pw := f.params.PowerAtDistance(f.dist(listener, f.pos[tx.Node]))
-		if math.IsInf(pw, 1) {
-			infCount++
+	} else {
+		dist := f.dist
+		if dist == nil {
+			dist = geo.Euclidean
 		}
-		total += pw
-		if best == -1 || pw > bestPow {
-			best, bestPow = ti, pw
+		for _, ti := range chTxs {
+			tx := &txs[ti]
+			if tx.Node == rx.Node {
+				continue
+			}
+			pw := f.params.PowerAtDistance(dist(listener, f.pos[tx.Node]))
+			if math.IsInf(pw, 1) {
+				infCount++
+			}
+			total += pw
+			if best == -1 || pw > bestPow {
+				best, bestPow = ti, pw
+			}
 		}
 	}
+	return f.decide(txs, total, bestPow, best, infCount)
+}
+
+// decide applies the Eq. (1) threshold test to one listener's accumulated
+// scan: total sensed power, the strongest transmitter and its power, and how
+// many transmitters arrived with infinite power (co-located).
+func (f *Field) decide(txs []Tx, total, bestPow float64, best, infCount int) Reception {
+	rec := Reception{From: -1}
 	if best == -1 {
 		return rec
 	}
@@ -189,6 +338,19 @@ func (f *Field) resolveOne(rx Rx, txs []Tx, chTxs []int) Reception {
 	// Not decoded: the listener still senses all the power.
 	rec.Interference = total
 	return rec
+}
+
+// powerAt returns the received power P/d^α, matching
+// model.Params.PowerAtDistance bit-for-bit (the integral-α route goes
+// through ipow, which reproduces math.Pow's square-and-multiply rounding).
+func (f *Field) powerAt(d float64) float64 {
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	if f.alphaInt > 0 {
+		return f.power / ipow(d, f.alphaInt)
+	}
+	return f.power / math.Pow(d, f.params.Alpha)
 }
 
 // Clear reports whether rec is a "clear reception" for radius r in the sense

@@ -1,0 +1,37 @@
+package phy
+
+import "math"
+
+// integralAlpha returns α as an int when it is an exact small integer (the
+// regime where ipow applies), else 0. The default parameter set uses α = 3.
+func integralAlpha(alpha float64) int {
+	if alpha == math.Trunc(alpha) && alpha >= 1 && alpha <= 64 {
+		return int(alpha)
+	}
+	return 0
+}
+
+// ipow computes x**n for n ≥ 1 using the same square-and-multiply
+// multiplication order math.Pow uses for integral exponents, so for
+// positive x whose intermediate squares stay in the normal float64 range
+// the result is bit-identical to math.Pow(x, float64(n)) — the property
+// the resolver's fast paths rely on to keep transcripts unchanged.
+//
+// (math.Pow tracks the exponent separately via Frexp, so it differs from
+// this direct product only when an intermediate square over- or underflows;
+// with distances in transmission-range units that requires |log2 x|·n
+// beyond ~1000 and cannot arise from realistic geometry. TestIpowMatchesPow
+// pins the equivalence across the relevant magnitude range.)
+func ipow(x float64, n int) float64 {
+	a := 1.0
+	for {
+		if n&1 == 1 {
+			a *= x
+		}
+		n >>= 1
+		if n == 0 {
+			return a
+		}
+		x *= x
+	}
+}

@@ -8,6 +8,16 @@
 // synchronized-round model (Sec. 2): in each slot a node selects one of the
 // F channels and either transmits or listens on it.
 //
+// # Slot barrier
+//
+// A slot costs one synchronization round, not one rendezvous per node: nodes
+// deposit their action into a shared per-node slot (no contention — node i
+// writes only index i), the last arriver hands the engine a single wake
+// token, and after resolution the engine releases every node at once by
+// closing the slot's release channel. Each node therefore parks at most once
+// per slot, and the engine parks once, instead of the two blocking channel
+// handoffs per node per slot of a naive design.
+//
 // Determinism: node programs draw randomness only from ctx.Rand, a per-node
 // stream derived from (run seed, node ID), and slot resolution is
 // order-independent, so a run's transcript is a pure function of (seed,
@@ -19,6 +29,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"mcnet/internal/model"
 	"mcnet/internal/phy"
@@ -119,23 +130,74 @@ const (
 	actTransmit actKind = iota
 	actListen
 	actIdle
+	// actIdleLong declares an IdleFor batch: the node idles for count
+	// consecutive slots and leaves the barrier until they elapse, parking
+	// once instead of once per slot.
+	actIdleLong
+	// actIdleHold marks a node mid-batch: the engine rewrites actIdleLong
+	// to this after registering the wakeup, so continuation slots treat the
+	// node as idle without re-registering it.
+	actIdleHold
 )
 
 type action struct {
 	kind actKind
 	ch   int
 	msg  any
-}
-
-type nodeLink struct {
-	act  chan action
-	res  chan phy.Reception
-	done chan struct{}
+	// count is the slot span of an actIdleLong batch.
+	count int
 }
 
 // stopSignal is the sentinel panic used to unwind node goroutines when the
 // engine aborts a run.
 type stopSignal struct{}
+
+// roundState is the shared slot barrier of one run. Per slot, every live
+// node either deposits an action into pending (its own index only) and
+// arrives, or terminates and arrives once through its goroutine's deferred
+// cleanup; the arrival that completes the count hands the engine the single
+// wake token. The engine then owns all shared state until it releases the
+// slot by closing the release channel — a quiescent window in which it reads
+// pending, retires terminated nodes, adjusts expect, writes results, and
+// swaps in the next release channel.
+type roundState struct {
+	pending []action        // node i writes pending[i] before arriving
+	results []phy.Reception // engine writes, node i reads after release
+	done    []atomic.Bool   // set by node i's goroutine on termination
+
+	// gate packs the barrier counters into one word: the high half holds
+	// how many arrivals complete the slot (= live, non-idling nodes), the
+	// low half counts arrivals so far. The engine rewrites both halves
+	// together between slots; arrivals increment the low half and compare
+	// the halves of the same atomic snapshot.
+	gate    atomic.Uint64
+	wake    chan struct{}                 // capacity 1: the completing arrival → engine
+	release atomic.Pointer[chan struct{}] // closed by the engine per slot
+
+	// idleWake[i] wakes node i out of an IdleFor batch (capacity 1; only
+	// the engine sends, only node i receives).
+	idleWake []chan struct{}
+
+	// aborted is the fast-path abort flag sampled at every step; stop is
+	// its channel form, selected on by parked idle batches.
+	aborted atomic.Bool
+	stop    chan struct{} // closed when the engine aborts the run
+}
+
+// arrive records one barrier arrival and wakes the engine if it is the last
+// expected one. Both halves of the gate come from one atomic snapshot, so
+// exactly one arrival per slot observes count == expect and sends the wake
+// token. The send is non-blocking because stale arrivals during an abort
+// may race with an undelivered token.
+func (rs *roundState) arrive() {
+	g := rs.gate.Add(1)
+	if uint32(g) == uint32(g>>32) {
+		select {
+		case rs.wake <- struct{}{}:
+		default:
+		}
+	}
+}
 
 // Run executes one program per node until all programs return, then reports
 // the number of slots consumed. The slot counter continues across
@@ -172,63 +234,82 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 	if len(programs) != n {
 		return 0, fmt.Errorf("sim: %d programs for %d nodes", len(programs), n)
 	}
+	if n == 0 {
+		return 0, nil
+	}
 	maxSlots := e.MaxSlots
 	if maxSlots <= 0 {
 		maxSlots = DefaultMaxSlots
 	}
 
-	links := make([]*nodeLink, n)
-	stop := make(chan struct{})
+	rs := &roundState{
+		pending:  make([]action, n),
+		results:  make([]phy.Reception, n),
+		done:     make([]atomic.Bool, n),
+		wake:     make(chan struct{}, 1),
+		idleWake: make([]chan struct{}, n),
+		stop:     make(chan struct{}),
+	}
+	for i := range rs.idleWake {
+		rs.idleWake[i] = make(chan struct{}, 1)
+	}
+	rs.gate.Store(uint64(n) << 32)
+	rel := make(chan struct{})
+	rs.release.Store(&rel)
+
 	var (
 		panicMu    sync.Mutex
 		firstPanic error
 	)
+	exited := make([]chan struct{}, n)
 	for i := 0; i < n; i++ {
-		links[i] = &nodeLink{
-			act:  make(chan action),
-			res:  make(chan phy.Reception),
-			done: make(chan struct{}),
-		}
+		exited[i] = make(chan struct{})
 		nodeParams := e.field.Params()
 		if e.NodeParams != nil {
 			nodeParams = *e.NodeParams
 		}
-		ctx := &Ctx{
+		nctx := &Ctx{
 			id:     i,
 			engine: e,
 			params: nodeParams,
 			Rand:   rng.Stream(e.seed, i),
-			link:   links[i],
-			stop:   stop,
+			rs:     rs,
 			slot:   startSlot,
 		}
 		prog := programs[i]
-		go func(i int, ctx *Ctx) {
-			defer close(links[i].done)
+		go func(i int, nctx *Ctx) {
+			defer close(exited[i])
 			defer func() {
 				r := recover()
-				if r == nil {
-					return
+				if r != nil {
+					if _, isStop := r.(stopSignal); !isStop {
+						panicMu.Lock()
+						if firstPanic == nil {
+							firstPanic = fmt.Errorf("sim: node %d panicked: %v", i, r)
+						}
+						panicMu.Unlock()
+					}
 				}
-				if _, isStop := r.(stopSignal); isStop {
-					return
-				}
-				panicMu.Lock()
-				if firstPanic == nil {
-					firstPanic = fmt.Errorf("sim: node %d panicked: %v", i, r)
-				}
-				panicMu.Unlock()
+				// Terminating counts as this node's arrival for the slot in
+				// progress; the done flag is set first so the engine retires
+				// the node before resolving.
+				rs.done[i].Store(true)
+				rs.arrive()
 			}()
 			if prog != nil {
-				prog(ctx)
+				prog(nctx)
 			}
-		}(i, ctx)
+		}(i, nctx)
 	}
 
 	abort := func() {
-		close(stop)
+		rs.aborted.Store(true)
+		close(rs.stop)
+		// Free every parked node: steps sample the abort flag before
+		// blocking, so anything released here unwinds at its next step.
+		close(*rs.release.Load())
 		for i := 0; i < n; i++ {
-			<-links[i].done
+			<-exited[i]
 		}
 	}
 
@@ -236,65 +317,81 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 	for i := range active {
 		active[i] = true
 	}
+	// nActive counts live nodes; idling counts those parked mid-IdleFor.
+	// Per slot the barrier expects nActive − idling arrivals. wakeAt maps an
+	// engine slot to the nodes whose idle batch ends with it.
 	nActive := n
+	idling := 0
+	expectCount := n
+	wakeAt := make(map[int][]int)
 
 	var (
-		pending = make([]action, n)
-		txs     []phy.Tx
-		rxs     []phy.Rx
-		rxOwner []int
+		txs []phy.Tx
+		rxs []phy.Rx
 	)
 	slot := startSlot
-	for used := 0; nActive > 0; used++ {
-		if used >= maxSlots {
-			abort()
-			return slot - startSlot, fmt.Errorf("sim: exceeded MaxSlots = %d with %d nodes still live", maxSlots, nActive)
-		}
-		if err := ctx.Err(); err != nil {
-			abort()
-			return slot - startSlot, err
-		}
-		// Collect one action (or termination) from every live node.
-		for i := 0; i < n; i++ {
-			if !active[i] {
-				pending[i] = action{kind: actIdle}
-				continue
-			}
+	for used := 0; ; used++ {
+		if expectCount > 0 {
+			// One wake token per slot: the last arrival of the barrier.
+			// From here until the release at the bottom of the loop every
+			// live node is parked, so the engine owns all shared state.
 			select {
-			case a := <-links[i].act:
-				pending[i] = a
-			case <-links[i].done:
-				active[i] = false
-				nActive--
-				pending[i] = action{kind: actIdle}
+			case <-rs.wake:
 			case <-ctx.Done():
 				abort()
 				return slot - startSlot, ctx.Err()
 			}
+			panicMu.Lock()
+			pErr := firstPanic
+			panicMu.Unlock()
+			if pErr != nil {
+				abort()
+				return slot - startSlot, pErr
+			}
+			for i := 0; i < n; i++ {
+				if !active[i] {
+					continue
+				}
+				if rs.done[i].Load() {
+					active[i] = false
+					nActive--
+					continue
+				}
+				if rs.pending[i].kind == actIdleLong {
+					// A fresh IdleFor batch: the node idles from this slot
+					// through slot+count-1 and skips those barriers.
+					end := slot + rs.pending[i].count - 1
+					wakeAt[end] = append(wakeAt[end], i)
+					rs.pending[i].kind = actIdleHold
+					idling++
+				}
+			}
+			if nActive == 0 {
+				return slot - startSlot, nil
+			}
 		}
-		panicMu.Lock()
-		pErr := firstPanic
-		panicMu.Unlock()
-		if pErr != nil {
+		// else: every live node is parked mid-IdleFor — nothing can arrive,
+		// terminate, or panic, so the engine advances the slot directly.
+		if err := ctx.Err(); err != nil {
 			abort()
-			return slot - startSlot, pErr
+			return slot - startSlot, err
 		}
-		if nActive == 0 {
-			break
+		if used >= maxSlots {
+			abort()
+			return slot - startSlot, fmt.Errorf("sim: exceeded MaxSlots = %d with %d nodes still live", maxSlots, nActive)
 		}
 
 		// Resolve the slot.
-		txs, rxs, rxOwner = txs[:0], rxs[:0], rxOwner[:0]
+		txs, rxs = txs[:0], rxs[:0]
 		for i := 0; i < n; i++ {
 			if !active[i] {
 				continue
 			}
-			switch pending[i].kind {
+			switch rs.pending[i].kind {
 			case actTransmit:
-				txs = append(txs, phy.Tx{Node: i, Channel: pending[i].ch, Msg: pending[i].msg})
+				txs = append(txs, phy.Tx{Node: i, Channel: rs.pending[i].ch, Msg: rs.pending[i].msg})
 			case actListen:
-				rxs = append(rxs, phy.Rx{Node: i, Channel: pending[i].ch})
-				rxOwner = append(rxOwner, i)
+				rxs = append(rxs, phy.Rx{Node: i, Channel: rs.pending[i].ch})
 			}
 		}
 		recs := e.field.Resolve(txs, rxs)
@@ -302,25 +399,39 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 			e.Trace(slot, txs, rxs, recs)
 		}
 
-		// Deliver outcomes: listeners get their reception, everyone else an
-		// empty one.
+		// Deliver outcomes. Only listeners observe their result slot —
+		// Transmit and Idle discard it — so non-listen entries keep their
+		// stale contents untouched.
 		ri := 0
-		for i := 0; i < n; i++ {
-			if !active[i] {
-				continue
-			}
-			var rec phy.Reception
-			if pending[i].kind == actListen {
-				rec = recs[ri]
+		for i := 0; i < n && ri < len(rxs); i++ {
+			if active[i] && rs.pending[i].kind == actListen {
+				rs.results[i] = recs[ri]
 				ri++
-			} else {
-				rec = phy.Reception{From: -1}
 			}
-			links[i].res <- rec
 		}
 		slot++
+
+		// Open the next slot and release everyone at once. Order matters:
+		// expect and arrived must be current and the new release channel
+		// installed before the old one closes, because released nodes
+		// re-enter the barrier immediately. Idle batches ending with the
+		// slot just resolved rejoin the barrier before the release and are
+		// woken through their private channels after it.
+		ending := wakeAt[slot-1]
+		if len(ending) > 0 {
+			delete(wakeAt, slot-1)
+			idling -= len(ending)
+		}
+		expectCount = nActive - idling
+		rs.gate.Store(uint64(uint32(expectCount)) << 32)
+		next := make(chan struct{})
+		old := rs.release.Load()
+		rs.release.Store(&next)
+		close(*old)
+		for _, i := range ending {
+			rs.idleWake[i] <- struct{}{}
+		}
 	}
-	return slot - startSlot, nil
 }
 
 // Ctx is a node's handle to the simulator, passed to its Program.
@@ -331,8 +442,7 @@ type Ctx struct {
 	id     int
 	engine *Engine
 	params model.Params
-	link   *nodeLink
-	stop   chan struct{}
+	rs     *roundState
 	slot   int
 }
 
@@ -363,11 +473,35 @@ func (c *Ctx) Idle() {
 	c.step(action{kind: actIdle})
 }
 
-// IdleFor idles for k consecutive slots.
+// IdleFor idles for k consecutive slots. Long batches cost one
+// synchronization instead of one per slot: the node leaves the barrier for
+// the batch's span and is woken when it ends, which is what makes the
+// TDMA-stride and stage-skipping idles of the pipeline cheap.
 func (c *Ctx) IdleFor(k int) {
-	for i := 0; i < k; i++ {
+	if k == 1 {
 		c.Idle()
+		return
 	}
+	if k <= 0 {
+		return
+	}
+	rs := c.rs
+	if rs.aborted.Load() {
+		panic(stopSignal{})
+	}
+	rs.pending[c.id] = action{kind: actIdleLong, count: k}
+	rs.arrive()
+	select {
+	case <-rs.idleWake[c.id]:
+		// The select can win this race against a concurrent abort; don't
+		// resume a run the engine already gave up on.
+		if rs.aborted.Load() {
+			panic(stopSignal{})
+		}
+	case <-rs.stop:
+		panic(stopSignal{})
+	}
+	c.slot += k
 }
 
 // Emit records an instrumentation event tagged with the current slot.
@@ -376,16 +510,28 @@ func (c *Ctx) Emit(name string, value int) {
 }
 
 func (c *Ctx) step(a action) phy.Reception {
-	select {
-	case c.link.act <- a:
-	case <-c.stop:
+	rs := c.rs
+	// An abort unwinds here, without arriving, so a stale action never
+	// lands in a live barrier. Checking a flag (instead of selecting on
+	// stop below) keeps the hot path on a plain channel receive; abort
+	// closes the current release channel, so a node parked below still
+	// wakes and unwinds on its next step.
+	if rs.aborted.Load() {
 		panic(stopSignal{})
 	}
-	select {
-	case rec := <-c.link.res:
-		c.slot++
-		return rec
-	case <-c.stop:
+	// The release channel must be sampled before arriving: after the
+	// arrival that completes the barrier, the engine may swap in the next
+	// slot's channel at any moment.
+	rel := rs.release.Load()
+	rs.pending[c.id] = a
+	rs.arrive()
+	<-*rel
+	// An abort also closes the release channel to free parked nodes; their
+	// slot was never resolved, so unwind instead of handing the program a
+	// stale reception from an earlier slot.
+	if rs.aborted.Load() {
 		panic(stopSignal{})
 	}
+	c.slot++
+	return rs.results[c.id]
 }

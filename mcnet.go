@@ -3,6 +3,7 @@ package mcnet
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"mcnet/internal/coloring"
@@ -29,7 +30,9 @@ type Network struct {
 	cfg    core.Config
 	plan   *core.Plan
 
-	maxSlots int
+	maxSlots    int
+	parallelism int
+	farFieldTol float64
 
 	mu        sync.Mutex
 	observers []func(Event)
@@ -117,13 +120,15 @@ func New(n int, opts ...Option) (*Network, error) {
 	cfg.HopBound = d.HopBound
 
 	return &Network{
-		params:   p,
-		topo:     s.topo,
-		seed:     s.seed,
-		pos:      toGeo(pts),
-		cfg:      cfg,
-		plan:     core.NewPlan(p, cfg),
-		maxSlots: s.maxSlots,
+		params:      p,
+		topo:        s.topo,
+		seed:        s.seed,
+		pos:         toGeo(pts),
+		cfg:         cfg,
+		plan:        core.NewPlan(p, cfg),
+		maxSlots:    s.maxSlots,
+		parallelism: s.parallelism,
+		farFieldTol: s.farFieldTol,
 	}, nil
 }
 
@@ -190,10 +195,19 @@ func (nw *Network) Events(fn func(Event)) {
 	nw.mu.Unlock()
 }
 
+// newField builds a per-run resolver with the network's performance options
+// applied.
+func (nw *Network) newField(p model.Params) *phy.Field {
+	f := phy.NewField(p, nw.pos)
+	f.SetParallelism(nw.parallelism)
+	f.SetFarFieldTolerance(nw.farFieldTol)
+	return f
+}
+
 // newEngine builds a per-run engine with event streaming attached; callers
 // install their own Trace for slot and channel accounting.
 func (nw *Network) newEngine() *sim.Engine {
-	e := sim.NewEngine(phy.NewField(nw.params, nw.pos), nw.seed)
+	e := sim.NewEngine(nw.newField(nw.params), nw.seed)
 	if nw.maxSlots > 0 {
 		e.MaxSlots = nw.maxSlots
 	}
@@ -356,21 +370,50 @@ func (nw *Network) Color(ctx context.Context) (*ColorResult, error) {
 // over the SINR layer, reporting how many directed communication-graph
 // links decoded their neighbor's broadcast. A proper coloring delivers
 // every link in one cycle.
+//
+// Nodes with a negative color are unscheduled: the cycle never reaches
+// them, so they only listen and their outgoing links cannot deliver. The
+// report counts them in Unscheduled while Links still includes their
+// edges, so Delivered < Links whenever a partially uncolored palette is
+// verified — the gap is the schedule's fault, not the SINR layer's.
 func (nw *Network) VerifyTDMA(colors []int) (TDMAReport, error) {
 	n := nw.N()
 	if len(colors) != n {
 		return TDMAReport{}, fmt.Errorf("mcnet: %d colors for %d nodes", len(colors), n)
 	}
-	maxColor := 0
+	// maxColor starts below every valid color so an all-unscheduled
+	// palette reports a zero-length cycle instead of a phantom one-slot
+	// schedule.
+	maxColor := -1
+	unscheduled := 0
 	for _, c := range colors {
 		if c > maxColor {
 			maxColor = c
 		}
+		if c < 0 {
+			unscheduled++
+		}
 	}
 	g := graph.Build(nw.pos, nw.params.REps())
-	field := phy.NewField(nw.params.WithChannels(1), nw.pos)
-	rep := TDMAReport{Cycle: maxColor + 1}
-	for slot := 0; slot <= maxColor; slot++ {
+	field := nw.newField(nw.params.WithChannels(1))
+	rep := TDMAReport{Cycle: maxColor + 1, Unscheduled: unscheduled}
+	// Only slots that schedule at least one transmitter can deliver, so
+	// resolve the distinct colors rather than every slot of the cycle —
+	// identical report, and a sparse palette (or one stray huge color)
+	// costs per color in use instead of per cycle slot.
+	inUse := make(map[int]struct{}, n)
+	var slots []int
+	for _, c := range colors {
+		if c < 0 {
+			continue
+		}
+		if _, ok := inUse[c]; !ok {
+			inUse[c] = struct{}{}
+			slots = append(slots, c)
+		}
+	}
+	sort.Ints(slots)
+	for _, slot := range slots {
 		var txs []phy.Tx
 		var rxs []phy.Rx
 		for i, c := range colors {
@@ -418,13 +461,15 @@ func stageWindows(pl *core.Plan) []StageReport {
 }
 
 // observeStages fills each stage window with the milestone events that
-// fired inside it. Events emitted after a program consumed its whole
-// schedule are stamped with the budget end and belong to the final stage.
+// fired inside it. Events whose slot lands at or beyond the final stage's
+// budget end — programs that consumed their whole schedule, or instrumented
+// epilogues past the budget — are clamped into the final stage, so the
+// per-stage event totals always sum to the engine's event log.
 func observeStages(stages []StageReport, events []sim.Event) []StageReport {
 	for _, ev := range events {
 		for i := range stages {
 			last := i == len(stages)-1
-			if ev.Slot >= stages[i].Start && (ev.Slot < stages[i].End || last && ev.Slot == stages[i].End) {
+			if ev.Slot >= stages[i].Start && (ev.Slot < stages[i].End || last) {
 				stages[i].Events++
 				if ev.Slot > stages[i].LastEvent {
 					stages[i].LastEvent = ev.Slot

@@ -15,6 +15,9 @@ type settings struct {
 
 	deltaHat, phiMax, hopBound int // 0 = derive from topology
 	maxSlots                   int
+
+	parallelism int     // slot-resolution workers; 0 = GOMAXPROCS
+	farFieldTol float64 // far-field relative error; 0 = exact
 }
 
 func defaultSettings() settings {
@@ -147,6 +150,40 @@ func MaxSlots(v int) Option {
 			return fmt.Errorf("mcnet: MaxSlots = %d must be ≥ 1", v)
 		}
 		s.maxSlots = v
+		return nil
+	}
+}
+
+// Parallelism sets how many workers each slot's SINR resolution may fan
+// listeners out across: 0 (the default) sizes the pool by GOMAXPROCS, 1
+// forces serial resolution. Every setting produces bit-identical results —
+// listeners resolve independently — so this knob trades wall-clock time
+// only and never affects transcripts.
+func Parallelism(workers int) Option {
+	return func(s *settings) error {
+		if workers < 0 {
+			return fmt.Errorf("mcnet: Parallelism = %d must be ≥ 0", workers)
+		}
+		s.parallelism = workers
+		return nil
+	}
+}
+
+// FarFieldTolerance enables approximate far-field interference aggregation:
+// transmitters are bucketed into a spatial grid and cells far from a
+// listener contribute their summed power from the cell centroid, with
+// relative error at most tol on the far-field interference term. The
+// default, 0, keeps resolution exact. Positive tolerances speed up large
+// spread-out deployments; decoding candidates are always evaluated exactly
+// (the near field covers the transmission range), so decode outcomes can
+// differ from exact mode only when the SINR sits within the far-field error
+// of the threshold β. Runs remain deterministic for a fixed tolerance.
+func FarFieldTolerance(tol float64) Option {
+	return func(s *settings) error {
+		if tol < 0 || tol != tol || tol > 1e18 {
+			return fmt.Errorf("mcnet: FarFieldTolerance = %v must be a finite value ≥ 0", tol)
+		}
+		s.farFieldTol = tol
 		return nil
 	}
 }

@@ -143,8 +143,14 @@ type TDMAReport struct {
 	// Cycle is the schedule length (max color + 1).
 	Cycle int
 	// Delivered counts directed communication-graph links over which the
-	// scheduled broadcast was decoded; Links is the total.
+	// scheduled broadcast was decoded; Links is the total, including the
+	// outgoing edges of unscheduled nodes (which can never deliver).
 	Delivered, Links int
+	// Unscheduled counts nodes with a negative color: the cycle never
+	// schedules them, so they only listen. A nonzero value explains a
+	// Delivered < Links gap that is the palette's fault rather than the
+	// SINR layer's.
+	Unscheduled int
 }
 
 // GraphStats summarizes the communication graph induced by a network's
