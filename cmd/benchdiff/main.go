@@ -1,0 +1,141 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// baseline and fails when any benchmark regresses beyond a threshold — the
+// CI bench tripwire.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=1x . | tee bench.txt
+//	benchdiff -baseline BENCH_baseline.json -bench bench.txt            # compare
+//	benchdiff -baseline BENCH_baseline.json -bench bench.txt -update    # rewrite baseline
+//
+// The baseline maps benchmark names (GOMAXPROCS suffix stripped, so runs
+// compare across machines with different core counts) to ns/op. Compare
+// mode exits 1 if any current result exceeds threshold × baseline;
+// benchmarks missing on either side are reported but never fail the run, so
+// adding or removing benches doesn't break CI — regenerate with -update.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+		benchPath    = fs.String("bench", "", "go test -bench output to compare (required)")
+		threshold    = fs.Float64("threshold", 2.0, "fail when current ns/op exceeds threshold × baseline")
+		update       = fs.Bool("update", false, "rewrite the baseline from the bench output instead of comparing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *benchPath == "" {
+		fmt.Fprintln(errOut, "benchdiff: -bench is required")
+		return 2
+	}
+	if *threshold <= 1 {
+		fmt.Fprintf(errOut, "benchdiff: -threshold = %v must be > 1\n", *threshold)
+		return 2
+	}
+	raw, err := os.ReadFile(*benchPath)
+	if err != nil {
+		fmt.Fprintln(errOut, "benchdiff:", err)
+		return 2
+	}
+	current := parseBench(string(raw))
+	if len(current) == 0 {
+		fmt.Fprintf(errOut, "benchdiff: no benchmark results in %s\n", *benchPath)
+		return 2
+	}
+
+	if *update {
+		data, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			fmt.Fprintln(errOut, "benchdiff:", err)
+			return 2
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(errOut, "benchdiff:", err)
+			return 2
+		}
+		fmt.Fprintf(out, "benchdiff: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return 0
+	}
+
+	baseRaw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(errOut, "benchdiff:", err)
+		return 2
+	}
+	baseline := map[string]float64{}
+	if err := json.Unmarshal(baseRaw, &baseline); err != nil {
+		fmt.Fprintf(errOut, "benchdiff: bad baseline %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressed := 0
+	for _, name := range names {
+		cur := current[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(out, "NEW        %-44s %12.0f ns/op (not in baseline)\n", name, cur)
+			continue
+		}
+		ratio := cur / base
+		status := "ok"
+		if cur > *threshold*base {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(out, "%-10s %-44s %12.0f ns/op vs %12.0f baseline (%.2fx)\n",
+			status, name, cur, base, ratio)
+	}
+	for name := range baseline {
+		if _, ok := current[name]; !ok {
+			fmt.Fprintf(out, "MISSING    %-44s (in baseline, not in run)\n", name)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(errOut, "benchdiff: %d benchmark(s) regressed beyond %.1fx\n", regressed, *threshold)
+		return 1
+	}
+	fmt.Fprintf(out, "benchdiff: %d benchmarks within %.1fx of baseline\n", len(names), *threshold)
+	return 0
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkResolve4kSerial-8   1   123456 ns/op   0 B/op".
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts name → ns/op from bench output, stripping the
+// GOMAXPROCS suffix. Repeated entries (e.g. -count > 1) keep the minimum:
+// the least-noisy estimate of the machine's capability.
+func parseBench(s string) map[string]float64 {
+	out := map[string]float64{}
+	for _, m := range benchLine.FindAllStringSubmatch(s, -1) {
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out
+}

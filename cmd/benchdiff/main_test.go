@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: mcnet
+BenchmarkAggregateCrowd/n=1k-8         	       1	 12000000 ns/op
+BenchmarkAggregateCrowd/n=4k-8         	       1	 48000000 ns/op
+BenchmarkResolve4kSerial-8             	       1	  2000000 ns/op	       0 B/op
+BenchmarkEngine64Nodes100Slots-16      	       2	   900000 ns/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got := parseBench(sampleBench)
+	want := map[string]float64{
+		"BenchmarkAggregateCrowd/n=1k":   12000000,
+		"BenchmarkAggregateCrowd/n=4k":   48000000,
+		"BenchmarkResolve4kSerial":       2000000,
+		"BenchmarkEngine64Nodes100Slots": 900000,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseBench = %v, want %v", got, want)
+	}
+	// -count > 1 keeps the minimum.
+	double := sampleBench + "BenchmarkResolve4kSerial-8 1 1500000 ns/op\n"
+	if got := parseBench(double)["BenchmarkResolve4kSerial"]; got != 1500000 {
+		t.Errorf("repeated entry kept %v, want the minimum 1500000", got)
+	}
+}
+
+func writeFiles(t *testing.T, bench string, baseline map[string]float64) (benchPath, basePath string) {
+	t.Helper()
+	dir := t.TempDir()
+	benchPath = filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchPath, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	basePath = filepath.Join(dir, "baseline.json")
+	if baseline != nil {
+		data, err := json.Marshal(baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(basePath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return benchPath, basePath
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	benchPath, basePath := writeFiles(t, sampleBench, map[string]float64{
+		"BenchmarkAggregateCrowd/n=1k":   10000000, // 1.2x: fine
+		"BenchmarkAggregateCrowd/n=4k":   40000000, // 1.2x: fine
+		"BenchmarkResolve4kSerial":       1500000,  // 1.33x: fine
+		"BenchmarkEngine64Nodes100Slots": 880000,
+	})
+	var out, errOut bytes.Buffer
+	code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "within 2.0x") {
+		t.Errorf("missing summary:\n%s", out.String())
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	benchPath, basePath := writeFiles(t, sampleBench, map[string]float64{
+		"BenchmarkAggregateCrowd/n=1k": 12000000,
+		"BenchmarkResolve4kSerial":     900000, // 2.22x: regressed
+	})
+	var out, errOut bytes.Buffer
+	code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") || !strings.Contains(out.String(), "BenchmarkResolve4kSerial") {
+		t.Errorf("regression not reported:\n%s", out.String())
+	}
+	// Benches missing from the baseline are noted, never fatal.
+	if !strings.Contains(out.String(), "NEW") {
+		t.Errorf("new benchmarks not noted:\n%s", out.String())
+	}
+}
+
+func TestCompareMissingBench(t *testing.T) {
+	benchPath, basePath := writeFiles(t, sampleBench, map[string]float64{
+		"BenchmarkAggregateCrowd/n=1k": 12000000,
+		"BenchmarkGone":                1,
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") || !strings.Contains(out.String(), "BenchmarkGone") {
+		t.Errorf("missing baseline entry not noted:\n%s", out.String())
+	}
+}
+
+func TestUpdateWritesBaseline(t *testing.T) {
+	benchPath, basePath := writeFiles(t, sampleBench, nil)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath, "-update"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := map[string]float64{}
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) != 4 || baseline["BenchmarkResolve4kSerial"] != 2000000 {
+		t.Errorf("baseline = %v", baseline)
+	}
+	// Round-trip: comparing against the freshly written baseline passes.
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 0 {
+		t.Fatalf("round-trip exit %d: %s", code, errOut.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{}, &out, &errOut); code != 2 {
+		t.Errorf("missing -bench: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bench", "nope.txt", "-threshold", "0.5"}, &out, &errOut); code != 2 {
+		t.Errorf("bad threshold: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bench", "/does/not/exist.txt"}, &out, &errOut); code != 2 {
+		t.Errorf("unreadable bench file: exit %d, want 2", code)
+	}
+}

@@ -35,6 +35,11 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		exit(2)
 		return
 	}
+	if *seeds < 1 {
+		fmt.Fprintf(errOut, "mcagg: -seeds = %d must be ≥ 1\n", *seeds)
+		exit(2)
+		return
+	}
 	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick}
 	var tables []*mcnet.Table
 	if strings.EqualFold(*exp, "all") {

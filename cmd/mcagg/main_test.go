@@ -53,3 +53,22 @@ func TestRunBadFlag(t *testing.T) {
 		t.Errorf("exit code %d, want 2", exitCode)
 	}
 }
+
+// TestRunSeedsValidation: a non-positive -seeds exits 2 with a stderr
+// message instead of being silently clamped by the experiment harness.
+func TestRunSeedsValidation(t *testing.T) {
+	for _, seeds := range []string{"0", "-3"} {
+		var buf, errBuf bytes.Buffer
+		exitCode := -1
+		run([]string{"-exp", "e8", "-seeds", seeds}, &buf, &errBuf, func(c int) { exitCode = c })
+		if exitCode != 2 {
+			t.Errorf("-seeds %s: exit code %d, want 2", seeds, exitCode)
+		}
+		if !strings.Contains(errBuf.String(), "-seeds") {
+			t.Errorf("-seeds %s: unhelpful error: %q", seeds, errBuf.String())
+		}
+		if buf.Len() != 0 {
+			t.Errorf("-seeds %s: error leaked to stdout: %q", seeds, buf.String())
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScenarioSweep(t *testing.T) {
+	var buf, errBuf bytes.Buffer
+	exitCode := -1
+	args := []string{"-n", "32", "-loss", "0,0.1", "-jam", "0,1", "-seeds", "1"}
+	run(args, &buf, &errBuf, func(c int) { exitCode = c })
+	if exitCode != -1 {
+		t.Fatalf("exit code %d, output:\n%s%s", exitCode, buf.String(), errBuf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "surv_agree") || !strings.Contains(out, "mcscenario") {
+		t.Errorf("missing table:\n%s", out)
+	}
+}
+
+// TestScenarioCSVStable is the acceptance check: a fixed seed emits an
+// identical CSV across two consecutive runs.
+func TestScenarioCSVStable(t *testing.T) {
+	sweep := func() string {
+		var buf, errBuf bytes.Buffer
+		exitCode := -1
+		args := []string{"-n", "32", "-loss", "0,0.1", "-churn", "0,0.2", "-seed", "7", "-seeds", "2", "-csv"}
+		run(args, &buf, &errBuf, func(c int) { exitCode = c })
+		if exitCode != -1 {
+			t.Fatalf("exit code %d: %s", exitCode, errBuf.String())
+		}
+		return buf.String()
+	}
+	first := sweep()
+	if second := sweep(); first != second {
+		t.Errorf("CSV not stable across runs:\n%s\n---\n%s", first, second)
+	}
+	if !strings.Contains(first, "loss,jam,churn") {
+		t.Errorf("missing CSV header:\n%s", first)
+	}
+	// 2 loss values × 2 churn rates = 4 grid rows after title and header.
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	if rows := len(lines) - 2; rows != 4 {
+		t.Errorf("%d grid rows, want 4:\n%s", rows, first)
+	}
+}
+
+func TestScenarioFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"tiny n", []string{"-n", "1"}, "-n"},
+		{"negative n", []string{"-n", "-5"}, "-n"},
+		{"zero channels", []string{"-channels", "0"}, "-channels"},
+		{"zero seeds", []string{"-seeds", "0"}, "-seeds"},
+		{"bad topology", []string{"-topo", "moebius"}, "topology"},
+		{"bad jam model", []string{"-jam-model", "psychic"}, "jam model"},
+		{"loss out of range", []string{"-loss", "0,1.5"}, "-loss"},
+		{"loss garbage", []string{"-loss", "zero"}, "-loss"},
+		{"loss empty", []string{"-loss", ","}, "-loss"},
+		{"negative jam", []string{"-jam", "-1"}, "-jam"},
+		{"jam all channels", []string{"-channels", "2", "-jam", "2"}, "-jam"},
+		{"churn out of range", []string{"-churn", "2"}, "-churn"},
+		{"bogus flag", []string{"-bogus"}, ""},
+	}
+	for _, tc := range cases {
+		var buf, errBuf bytes.Buffer
+		exitCode := -1
+		run(tc.args, &buf, &errBuf, func(c int) { exitCode = c })
+		if exitCode != 2 {
+			t.Errorf("%s: exit code %d, want 2", tc.name, exitCode)
+			continue
+		}
+		if tc.frag != "" && !strings.Contains(errBuf.String(), tc.frag) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, errBuf.String(), tc.frag)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("%s: error leaked to stdout: %q", tc.name, buf.String())
+		}
+	}
+}

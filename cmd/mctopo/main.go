@@ -35,6 +35,23 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		exit(2)
 		return
 	}
+	// Validate flag combinations up front: a clear exit 2 beats a panic (or
+	// a silently clamped value) deep in the pipeline.
+	if *n < 2 {
+		fmt.Fprintf(errOut, "mctopo: -n = %d must be ≥ 2\n", *n)
+		exit(2)
+		return
+	}
+	if *degree <= 0 {
+		fmt.Fprintf(errOut, "mctopo: -degree = %v must be > 0\n", *degree)
+		exit(2)
+		return
+	}
+	if *length < 1 {
+		fmt.Fprintf(errOut, "mctopo: -length = %d must be ≥ 1\n", *length)
+		exit(2)
+		return
+	}
 	var topo mcnet.Topology
 	switch *kind {
 	case "uniform":
@@ -58,7 +75,7 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		exit(2)
 		return
 	}
-	net, err := mcnet.New(max(*n, 2), mcnet.WithTopology(topo), mcnet.Channels(1), mcnet.Seed(*seed))
+	net, err := mcnet.New(*n, mcnet.WithTopology(topo), mcnet.Channels(1), mcnet.Seed(*seed))
 	if err != nil {
 		fmt.Fprintln(errOut, "mctopo:", err)
 		exit(1)

@@ -46,3 +46,35 @@ func TestTopoUnknownKind(t *testing.T) {
 		t.Errorf("unhelpful error: %q", errBuf.String())
 	}
 }
+
+// TestTopoFlagValidation: malformed flag values exit 2 with a stderr
+// message naming the flag, instead of being silently clamped or panicking
+// deep in the pipeline.
+func TestTopoFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"tiny n", []string{"-n", "1"}, "-n"},
+		{"negative n", []string{"-n", "-8"}, "-n"},
+		{"zero degree", []string{"-kind", "uniform", "-degree", "0"}, "-degree"},
+		{"negative degree", []string{"-kind", "uniform", "-degree", "-3"}, "-degree"},
+		{"zero length", []string{"-kind", "corridor", "-length", "0"}, "-length"},
+	}
+	for _, tc := range cases {
+		var buf, errBuf bytes.Buffer
+		exitCode := -1
+		run(tc.args, &buf, &errBuf, func(c int) { exitCode = c })
+		if exitCode != 2 {
+			t.Errorf("%s: exit = %d, want 2", tc.name, exitCode)
+			continue
+		}
+		if !strings.Contains(errBuf.String(), tc.frag) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, errBuf.String(), tc.frag)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("%s: error leaked to stdout: %q", tc.name, buf.String())
+		}
+	}
+}

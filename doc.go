@@ -24,8 +24,21 @@
 // Aggregate and Color honor context cancellation, results carry per-stage
 // budgets vs. observed completion events plus channel utilization, and
 // Events streams per-node milestones live. RunExperiment exposes the
-// evaluation suite (E1–E10, ablations A1–A3) that regenerates the paper's
-// claimed bounds.
+// evaluation suite (E1–E10, ablations A1–A3, fault sweeps F1–F3) that
+// regenerates the paper's claimed bounds.
+//
+// # Fault injection
+//
+// Three fault options stress-test the schedules on non-ideal networks and
+// compose freely: Loss(p) suppresses each decoded message independently
+// with probability p; Jamming(k, model) lets an adversary jam k channels
+// per slot (oblivious or round-robin); Churn(spec) crashes nodes at
+// explicit or seeded random slots. Every fault decision is a pure function
+// of the run seed, so faulty runs replay bit-identically, and
+// zero-intensity faults reproduce the fault-free transcript bit-for-bit.
+// Results gain a FaultReport (delivered vs. lost, jammed slot-channels,
+// crashed nodes, surviving-node correctness). RunScenario sweeps fault
+// grids and renders the standard tables; cmd/mcscenario is its CLI.
 //
 // # Performance options
 //

@@ -34,10 +34,11 @@ func (t *Table) Render() string { return t.t.Render() }
 func (t *Table) CSV() string { return t.t.CSV() }
 
 // ExperimentIDs lists the runnable experiment identifiers: the evaluation
-// suite e1..e10 (one per claimed bound of the paper) and the ablations
-// a1..a3. Use AllExperiments for the whole e-suite in one call.
+// suite e1..e10 (one per claimed bound of the paper), the ablations a1..a3,
+// and the fault sweeps f1..f3 (message loss, jamming, churn). Use
+// AllExperiments for the whole e-suite in one call.
 func ExperimentIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3", "f1", "f2", "f3"}
 }
 
 // RunExperiment executes one experiment by id (see ExperimentIDs) and

@@ -39,10 +39,10 @@ func TestRunExperimentUnknown(t *testing.T) {
 // TestExperimentIDs: the advertised id list is stable and complete.
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 13 {
-		t.Fatalf("len(ExperimentIDs) = %d, want 13", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("len(ExperimentIDs) = %d, want 16", len(ids))
 	}
-	for _, want := range []string{"e1", "e10", "a3"} {
+	for _, want := range []string{"e1", "e10", "a3", "f1", "f3"} {
 		found := false
 		for _, id := range ids {
 			if id == want {

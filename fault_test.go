@@ -1,0 +1,290 @@
+package mcnet
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// faultRun aggregates once on a fresh network and returns the result plus
+// the run's event log, sorted into a canonical order (ordering between
+// different nodes' events within a slot is unspecified).
+func faultRun(t *testing.T, n int, values []int64, opts ...Option) (*AggregateResult, []Event) {
+	t.Helper()
+	nw, err := New(n, append([]Option{Channels(4), Seed(77)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu  sync.Mutex
+		log []Event
+	)
+	nw.Events(func(ev Event) {
+		mu.Lock()
+		log = append(log, ev)
+		mu.Unlock()
+	})
+	res, err := nw.Aggregate(context.Background(), values, Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Slice(log, func(i, j int) bool {
+		a, b := log[i], log[j]
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Value < b.Value
+	})
+	return res, log
+}
+
+func seqValues(n int) []int64 {
+	values := make([]int64, n)
+	for i := range values {
+		values[i] = int64(i + 1)
+	}
+	return values
+}
+
+// TestFaultOptionValidation covers the new options' argument checks, both
+// at option time and the cross-field checks at New time.
+func TestFaultOptionValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		opts []Option
+	}{
+		{"negative loss", []Option{Loss(-0.1)}},
+		{"loss above one", []Option{Loss(1.5)}},
+		{"negative jam", []Option{Jamming(-1, JamOblivious)}},
+		{"unknown jam model", []Option{Jamming(1, JamModel(7))}},
+		{"jam all channels", []Option{Channels(2), Jamming(2, JamOblivious)}},
+		{"churn rate", []Option{Churn(ChurnSpec{Rate: 1.5})}},
+		{"churn window", []Option{Churn(ChurnSpec{Rate: 0.1, From: 9, Until: 9})}},
+		{"churn negative slot", []Option{Churn(ChurnSpec{CrashAt: map[int]int{0: -1}})}},
+		{"churn unknown node", []Option{Churn(ChurnSpec{CrashAt: map[int]int{99: 5}})}},
+	}
+	for _, tc := range bad {
+		if _, err := New(16, tc.opts...); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	good := [][]Option{
+		{Loss(0.5)},
+		{Jamming(2, JamRoundRobin)},
+		{Churn(ChurnSpec{Rate: 0.3, From: 10, Until: 50})},
+		{Churn(ChurnSpec{CrashAt: map[int]int{0: 5, 15: 0}})},
+		{Loss(0), Jamming(0, JamOblivious), Churn(ChurnSpec{})},
+	}
+	for i, opts := range good {
+		if _, err := New(16, opts...); err != nil {
+			t.Errorf("good options %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestZeroIntensityFaultsReplayFaultFree is the acceptance property: Loss(0),
+// Jamming(0) and an empty Churn spec attach the fault layer but reproduce
+// the fault-free transcript bit-identically — same result, same event log —
+// while reporting zero fault activity.
+func TestZeroIntensityFaultsReplayFaultFree(t *testing.T) {
+	const n = 48
+	values := seqValues(n)
+	base, baseLog := faultRun(t, n, values)
+	zero, zeroLog := faultRun(t, n, values,
+		Loss(0), Jamming(0, JamRoundRobin), Churn(ChurnSpec{}))
+
+	if base.Faults != nil {
+		t.Fatal("fault-free run carries a FaultReport")
+	}
+	fr := zero.Faults
+	if fr == nil {
+		t.Fatal("zero-intensity run has no FaultReport")
+	}
+	if fr.Lost != 0 || fr.JammedSlotChannels != 0 || len(fr.CrashedNodes) != 0 {
+		t.Errorf("zero-intensity faults reported activity: %+v", fr)
+	}
+	if fr.Survivors != n || fr.SurvivorsInformed != zero.Informed || fr.SurvivorsExact != zero.Exact {
+		t.Errorf("zero-intensity survivor counts %+v disagree with result (informed %d, exact %d)",
+			fr, zero.Informed, zero.Exact)
+	}
+	if fr.Delivered == 0 {
+		t.Error("zero-intensity run delivered nothing")
+	}
+	zero.Faults = nil
+	if !reflect.DeepEqual(base, zero) {
+		t.Error("zero-intensity faults changed the aggregate result")
+	}
+	if !reflect.DeepEqual(baseLog, zeroLog) {
+		t.Errorf("zero-intensity faults changed the event log: %d vs %d events", len(baseLog), len(zeroLog))
+	}
+}
+
+// TestFaultGoldenTranscripts: for every fault model, the same seed and the
+// same spec replay an identical event log, result and fault report.
+func TestFaultGoldenTranscripts(t *testing.T) {
+	const n = 40
+	values := seqValues(n)
+	models := []struct {
+		name string
+		opts []Option
+	}{
+		{"loss", []Option{Loss(0.2)}},
+		{"jam-oblivious", []Option{Jamming(1, JamOblivious)}},
+		{"jam-roundrobin", []Option{Jamming(1, JamRoundRobin)}},
+		{"churn-rate", []Option{Churn(ChurnSpec{Rate: 0.2})}},
+		{"churn-set", []Option{Churn(ChurnSpec{CrashAt: map[int]int{1: 40, 5: 200}})}},
+		{"combined", []Option{Loss(0.1), Jamming(1, JamRoundRobin), Churn(ChurnSpec{Rate: 0.1})}},
+	}
+	for _, m := range models {
+		r1, log1 := faultRun(t, n, values, m.opts...)
+		r2, log2 := faultRun(t, n, values, m.opts...)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("%s: results diverged across identical runs", m.name)
+		}
+		if !reflect.DeepEqual(log1, log2) {
+			t.Errorf("%s: event logs diverged: %d vs %d events", m.name, len(log1), len(log2))
+		}
+		if r1.Faults == nil {
+			t.Errorf("%s: no FaultReport", m.name)
+		}
+	}
+}
+
+// TestLossReportsActivity: a lossy run loses messages and says so, and the
+// pipeline still aggregates (the ACK handshake retries).
+func TestLossReportsActivity(t *testing.T) {
+	const n = 48
+	res, _ := faultRun(t, n, seqValues(n), Loss(0.15))
+	fr := res.Faults
+	if fr == nil {
+		t.Fatal("no FaultReport")
+	}
+	if fr.Lost == 0 {
+		t.Error("15% loss lost nothing over a full pipeline run")
+	}
+	if fr.Delivered == 0 {
+		t.Error("nothing delivered under 15% loss")
+	}
+	if res.Informed < n/2 {
+		t.Errorf("only %d/%d informed under 15%% loss; expected graceful degradation", res.Informed, n)
+	}
+}
+
+// TestChurnCrashReporting: explicit crash sets surface in the report, the
+// survivor counts exclude them, and crashed nodes never report informed.
+func TestChurnCrashReporting(t *testing.T) {
+	const n = 40
+	crash := map[int]int{2: 30, 7: 100, 11: 0}
+	res, _ := faultRun(t, n, seqValues(n), Churn(ChurnSpec{CrashAt: crash}))
+	fr := res.Faults
+	if fr == nil {
+		t.Fatal("no FaultReport")
+	}
+	if !reflect.DeepEqual(fr.CrashedNodes, []int{2, 7, 11}) {
+		t.Errorf("CrashedNodes = %v, want [2 7 11]", fr.CrashedNodes)
+	}
+	if fr.Survivors != n-3 {
+		t.Errorf("Survivors = %d, want %d", fr.Survivors, n-3)
+	}
+	for _, id := range fr.CrashedNodes {
+		if res.Nodes[id].Informed {
+			t.Errorf("crashed node %d reported informed", id)
+		}
+	}
+	if fr.SurvivorsInformed == 0 {
+		t.Errorf("survivors learned nothing: %+v", fr)
+	}
+	// All three crashes land before the dead nodes contribute, so the
+	// full-input fold is unreachable — survivors instead agree on the fold
+	// of the values that made it in.
+	if fr.SurvivorsAgreeing < fr.SurvivorsInformed*9/10 {
+		t.Errorf("survivors did not converge: %+v", fr)
+	}
+	if fr.SurvivorsInformed > fr.Survivors || fr.SurvivorsExact > fr.SurvivorsInformed ||
+		fr.SurvivorsAgreeing > fr.SurvivorsInformed {
+		t.Errorf("inconsistent survivor counts: %+v", fr)
+	}
+}
+
+// TestJammingDegradesChannels: jamming k of F channels jams slot-channels
+// and the pipeline still completes via the remaining channels.
+func TestJammingDegradesChannels(t *testing.T) {
+	const n = 40
+	res, _ := faultRun(t, n, seqValues(n), Jamming(1, JamRoundRobin))
+	fr := res.Faults
+	if fr == nil {
+		t.Fatal("no FaultReport")
+	}
+	if fr.JammedSlotChannels != res.Slots {
+		t.Errorf("JammedSlotChannels = %d, want %d (k=1 per slot)", fr.JammedSlotChannels, res.Slots)
+	}
+	if res.Informed < n/2 {
+		t.Errorf("only %d/%d informed with 1 of 4 channels jammed", res.Informed, n)
+	}
+}
+
+// TestRunScenario: the runner sweeps the full grid deterministically — two
+// consecutive runs emit identical CSV — and honors cancellation.
+func TestRunScenario(t *testing.T) {
+	sc := Scenario{
+		Name:    "test",
+		N:       32,
+		Options: []Option{Channels(4), WithTopology(Crowd)},
+		Loss:    []float64{0, 0.1},
+		Jam:     []int{0, 1},
+		Churn:   []float64{0, 0.1},
+		Seeds:   2,
+	}
+	t1, err := RunScenario(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := RunScenario(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.CSV() != t2.CSV() {
+		t.Errorf("scenario CSV not stable across runs:\n%s\n---\n%s", t1.CSV(), t2.CSV())
+	}
+	lines := len(splitLines(t1.CSV()))
+	// 1 title + 1 header + 2*2*2 grid rows.
+	if want := 2 + 8; lines != want {
+		t.Errorf("CSV has %d lines, want %d:\n%s", lines, want, t1.CSV())
+	}
+
+	if _, err := RunScenario(context.Background(), Scenario{N: 1}); err == nil {
+		t.Error("n = 1 accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunScenario(ctx, sc); err == nil {
+		t.Error("cancelled context not honored")
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -15,6 +15,7 @@ import (
 	"mcnet/internal/agg"
 	"mcnet/internal/backbone"
 	"mcnet/internal/core"
+	"mcnet/internal/fault"
 	"mcnet/internal/geo"
 	"mcnet/internal/graph"
 	"mcnet/internal/model"
@@ -48,15 +49,30 @@ type AggMetrics struct {
 	Followers, FollowersAcked int
 	// Dominators is the cluster count.
 	Dominators int
+	// Survivors, SurvivorsInformed and SurvivorsExact restrict the counts
+	// to nodes alive at run end — equal to N, Informed and Exact on
+	// fault-free runs; SurvivorsAgreeing is the largest set of informed
+	// survivors sharing one learned value (consensus under churn, where the
+	// full-input fold may be unreachable). See RunAggFaults.
+	Survivors, SurvivorsInformed, SurvivorsExact int
+	SurvivorsAgreeing                            int
 }
 
 // RunAgg executes the pipeline once and extracts metrics. The values slice
 // must hold exactly one input per node; the pipeline rejects mismatches
 // instead of silently zero-filling.
 func RunAgg(pos []geo.Point, p model.Params, cfg core.Config, values []int64, op agg.Op, seed uint64) (AggMetrics, error) {
+	m, _, err := runAgg(pos, p, cfg, values, op, seed, nil)
+	return m, err
+}
+
+// runAgg is the shared pipeline runner: with a nil injector it is the
+// fault-free path, otherwise the injector is attached to the engine and its
+// report returned alongside the metrics.
+func runAgg(pos []geo.Point, p model.Params, cfg core.Config, values []int64, op agg.Op, seed uint64, inj *fault.Injector) (AggMetrics, fault.Report, error) {
 	var m AggMetrics
 	if len(values) != len(pos) {
-		return m, fmt.Errorf("expt: %d values for %d nodes", len(values), len(pos))
+		return m, fault.Report{}, fmt.Errorf("expt: %d values for %d nodes", len(values), len(pos))
 	}
 	m.N = len(pos)
 	g := graph.Build(pos, p.REps())
@@ -65,11 +81,18 @@ func RunAgg(pos []geo.Point, p model.Params, cfg core.Config, values []int64, op
 
 	pl := core.NewPlan(p, cfg)
 	e := sim.NewEngine(phy.NewField(p, pos), seed)
+	if inj != nil {
+		e.Faults = inj
+	}
 	res, err := core.Run(e, pl, values, op, seed)
 	if err != nil {
-		return m, err
+		return m, fault.Report{}, err
 	}
 	m.BuildSlots = pl.Offsets.Followers
+	rep := fault.Report{}
+	if inj != nil {
+		rep = inj.Report()
+	}
 	want := op.Fold(values)
 	for _, r := range res {
 		if r.IsDominator {
@@ -84,6 +107,13 @@ func RunAgg(pos []geo.Point, p model.Params, cfg core.Config, values []int64, op
 			}
 		}
 	}
+	tally := rep.TallySurvivors(m.N, func(i int) (bool, int64) {
+		return res[i].Ok, res[i].Value
+	}, want)
+	m.Survivors = tally.Survivors
+	m.SurvivorsInformed = tally.Informed
+	m.SurvivorsExact = tally.Exact
+	m.SurvivorsAgreeing = tally.Agreeing
 	aggStart := pl.Offsets.Followers
 	castStart := pl.Offsets.Backbone +
 		pl.Tree.PhiMax*(pl.Tree.BuildBlocks+pl.Tree.ChildBlocks)
@@ -118,7 +148,7 @@ func RunAgg(pos []geo.Point, p model.Params, cfg core.Config, values []int64, op
 	if rootAgg > 0 {
 		m.CastDelay = rootAgg - castStart
 	}
-	return m, nil
+	return m, rep, nil
 }
 
 // Crowd places n nodes inside one cluster-radius disk (a single-cluster,

@@ -622,7 +622,8 @@ func All(o Options) ([]*stats.Table, error) {
 	return out, nil
 }
 
-// ByName returns the runner for an experiment ID ("e1".."e10", "all").
+// ByName returns the runner for an experiment ID ("e1".."e10", "a1".."a3",
+// "f1".."f3").
 func ByName(name string) (func(Options) (*stats.Table, error), bool) {
 	m := map[string]func(Options) (*stats.Table, error){
 		"e1": E1SpeedupVsChannels, "e2": E2AggVsN, "e3": E3Baselines,
@@ -631,6 +632,7 @@ func ByName(name string) (func(Options) (*stats.Table, error), bool) {
 		"e9": E9Backbone, "e10": E10DiameterTerm,
 		"a1": A1BackoffAblation, "a2": A2TDMAAblation,
 		"a3": A3ChannelSpreadAblation,
+		"f1": F1LossSweep, "f2": F2JamSweep, "f3": F3ChurnSweep,
 	}
 	f, ok := m[name]
 	return f, ok

@@ -1,0 +1,175 @@
+package expt
+
+import (
+	"fmt"
+
+	"mcnet/internal/agg"
+	"mcnet/internal/core"
+	"mcnet/internal/fault"
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+	"mcnet/internal/stats"
+)
+
+// RunAggFaults executes the pipeline once under a fault spec and extracts
+// metrics plus the injector's report. The spec must be valid for
+// (len(pos), p.Channels); the rate-based crash window defaults to the
+// schedule's slot budget.
+func RunAggFaults(pos []geo.Point, p model.Params, cfg core.Config, values []int64, op agg.Op, seed uint64, spec fault.Spec) (AggMetrics, fault.Report, error) {
+	if err := spec.Validate(len(pos), p.Channels); err != nil {
+		return AggMetrics{}, fault.Report{}, err
+	}
+	pl := core.NewPlan(p, cfg)
+	inj := fault.NewInjector(spec, seed, len(pos), p.Channels, pl.Offsets.End)
+	return runAgg(pos, p, cfg, values, op, seed, inj)
+}
+
+// faultCrowd is the shared deployment of the fault sweeps: a single-cluster
+// crowd, the workload whose Δ/F contention the fault layer stresses most.
+func faultCrowd(o Options) (n, f int) {
+	if o.Quick {
+		return 48, 4
+	}
+	return 96, 4
+}
+
+// F1LossSweep measures pipeline robustness against probabilistic message
+// loss: informed/exact rates and acknowledgement latency as the
+// per-reception loss probability grows.
+func F1LossSweep(o Options) (*stats.Table, error) {
+	n, f := faultCrowd(o)
+	losses := []float64{0, 0.02, 0.05, 0.1, 0.2}
+	if o.Quick {
+		losses = []float64{0, 0.1}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("F1: aggregation vs message loss (crowd n=%d, F=%d)", n, f),
+		"loss", "informed", "exact", "acked", "lost", "ack_slots", "agg_slots")
+	for _, lp := range losses {
+		var acks, aggs []float64
+		informed, exact, acked, lost, total := 0, 0, 0, 0, 0
+		for s := 0; s < o.seeds(); s++ {
+			p := model.Default(f, n)
+			pos := Crowd(p, n, uint64(s+71))
+			values, _ := sequentialValues(n)
+			cfg := core.DefaultConfig(p)
+			cfg.DeltaHat = n
+			cfg.PhiMax = 4
+			cfg.HopBound = 2
+			m, rep, err := RunAggFaults(pos, p, cfg, values, agg.Sum,
+				uint64(2000+s), fault.Spec{LossProb: lp})
+			if err != nil {
+				return nil, err
+			}
+			informed += m.Informed
+			exact += m.Exact
+			acked += m.FollowersAcked
+			lost += rep.Lost
+			total += m.N
+			acks = append(acks, float64(m.AckSlots))
+			aggs = append(aggs, float64(m.AggSlots))
+		}
+		t.AddRow(stats.F(lp), pct(informed, total), pct(exact, total),
+			stats.I(acked/o.seeds()), stats.I(lost/o.seeds()),
+			stats.F1(stats.Median(acks)), stats.F1(stats.Median(aggs)))
+	}
+	t.AddNote("seeds=%d; loss = per-reception Bernoulli suppression; the ACK handshake retries, so informed%% should degrade gracefully", o.seeds())
+	return t, nil
+}
+
+// F2JamSweep measures robustness against adversarial channel jamming, for
+// both the oblivious and round-robin adversaries.
+func F2JamSweep(o Options) (*stats.Table, error) {
+	n, _ := faultCrowd(o)
+	const f = 8
+	ks := []int{0, 1, 2, 4}
+	models := []fault.JamModel{fault.JamOblivious, fault.JamRoundRobin}
+	if o.Quick {
+		ks = []int{0, 2}
+		models = []fault.JamModel{fault.JamRoundRobin}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("F2: aggregation vs jamming (crowd n=%d, F=%d)", n, f),
+		"jammed", "adversary", "informed", "exact", "ack_slots", "agg_slots")
+	for _, k := range ks {
+		for _, jm := range models {
+			if k == 0 && jm != models[0] {
+				continue // k=0 rows are identical across adversaries
+			}
+			var acks, aggs []float64
+			informed, exact, total := 0, 0, 0
+			for s := 0; s < o.seeds(); s++ {
+				p := model.Default(f, n)
+				pos := Crowd(p, n, uint64(s+81))
+				values, _ := sequentialValues(n)
+				cfg := core.DefaultConfig(p)
+				cfg.DeltaHat = n
+				cfg.PhiMax = 4
+				cfg.HopBound = 2
+				m, _, err := RunAggFaults(pos, p, cfg, values, agg.Sum,
+					uint64(3000+s), fault.Spec{JamChannels: k, JamModel: jm})
+				if err != nil {
+					return nil, err
+				}
+				informed += m.Informed
+				exact += m.Exact
+				total += m.N
+				acks = append(acks, float64(m.AckSlots))
+				aggs = append(aggs, float64(m.AggSlots))
+			}
+			name := jm.String()
+			if k == 0 {
+				name = "-"
+			}
+			t.AddRow(stats.I(k), name, pct(informed, total), pct(exact, total),
+				stats.F1(stats.Median(acks)), stats.F1(stats.Median(aggs)))
+		}
+	}
+	t.AddNote("seeds=%d; adversary jams k of F=%d channels per slot; channel diversity should absorb small k", o.seeds(), f)
+	return t, nil
+}
+
+// F3ChurnSweep measures robustness against node churn: surviving-node
+// aggregate correctness as the crash rate grows.
+func F3ChurnSweep(o Options) (*stats.Table, error) {
+	n, f := faultCrowd(o)
+	rates := []float64{0, 0.05, 0.1, 0.2}
+	if o.Quick {
+		rates = []float64{0, 0.1}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("F3: aggregation vs churn (crowd n=%d, F=%d)", n, f),
+		"crash_rate", "crashed", "informed", "surv_informed", "surv_agree", "surv_exact", "agg_slots")
+	for _, cr := range rates {
+		var aggs []float64
+		crashed, informed, total := 0, 0, 0
+		survInformed, survAgree, survExact, survivors := 0, 0, 0, 0
+		for s := 0; s < o.seeds(); s++ {
+			p := model.Default(f, n)
+			pos := Crowd(p, n, uint64(s+91))
+			values, _ := sequentialValues(n)
+			cfg := core.DefaultConfig(p)
+			cfg.DeltaHat = n
+			cfg.PhiMax = 4
+			cfg.HopBound = 2
+			m, rep, err := RunAggFaults(pos, p, cfg, values, agg.Sum,
+				uint64(4000+s), fault.Spec{CrashRate: cr})
+			if err != nil {
+				return nil, err
+			}
+			crashed += len(rep.CrashedNodes)
+			informed += m.Informed
+			total += m.N
+			survivors += m.Survivors
+			survInformed += m.SurvivorsInformed
+			survAgree += m.SurvivorsAgreeing
+			survExact += m.SurvivorsExact
+			aggs = append(aggs, float64(m.AggSlots))
+		}
+		t.AddRow(stats.F(cr), stats.I(crashed/o.seeds()), pct(informed, total),
+			pct(survInformed, survivors), pct(survAgree, survivors), pct(survExact, survivors),
+			stats.F1(stats.Median(aggs)))
+	}
+	t.AddNote("seeds=%d; crash slots drawn uniformly over the schedule; surv_agree = consensus among informed survivors (exactness vs the full fold is unreachable when nodes die before contributing)", o.seeds())
+	return t, nil
+}

@@ -1,0 +1,342 @@
+// Package fault implements the deterministic fault and dynamics layer: it
+// perturbs slot resolution with probabilistic message loss, adversarial
+// channel jamming and node churn, while keeping every run a pure function of
+// (seed, fault spec). The paper analyzes a static SINR network; this layer
+// stress-tests the same schedules when links and nodes are not ideal.
+//
+// Every fault decision is derived by hashing (seed, slot, node) — never by
+// consuming protocol randomness or shared mutable RNG state — so transcripts
+// replay bit-identically regardless of goroutine scheduling, and a
+// zero-intensity spec (no loss, no jam, no churn) is observationally
+// identical to running without the layer at all.
+//
+// An Injector plugs into the simulator through the sim.FaultInjector hook:
+// BeginSlot reconfigures per-slot channel jamming on the field,
+// FilterReception suppresses decoded receptions chosen by the loss process,
+// and CrashSlot tells each node's context when (if ever) the node dies.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mcnet/internal/phy"
+	"mcnet/internal/rng"
+)
+
+// JamModel selects the jamming adversary's channel-selection strategy.
+type JamModel int
+
+const (
+	// JamOblivious draws the k jammed channels fresh each slot from a
+	// seeded RNG independent of the execution — the oblivious adversary.
+	JamOblivious JamModel = iota
+	// JamRoundRobin sweeps a block of k consecutive channels cyclically
+	// across the F channels, one step per slot — a deterministic adversary
+	// that eventually disrupts every channel equally.
+	JamRoundRobin
+)
+
+// String returns the model's mnemonic name.
+func (m JamModel) String() string {
+	switch m {
+	case JamOblivious:
+		return "oblivious"
+	case JamRoundRobin:
+		return "roundrobin"
+	default:
+		return fmt.Sprintf("JamModel(%d)", int(m))
+	}
+}
+
+// Spec declares the faults of one run. The zero value injects nothing.
+type Spec struct {
+	// LossProb is the per-reception Bernoulli loss probability in [0, 1]:
+	// each decoded message is independently suppressed with this
+	// probability (the listener still senses its power, as under fading).
+	LossProb float64
+
+	// JamChannels is the number k of channels the adversary jams each slot
+	// (0 disables jamming); JamModel picks how the k channels are chosen.
+	// Nothing decodes on a jammed channel, but its power is still sensed.
+	JamChannels int
+	JamModel    JamModel
+
+	// CrashAt maps node IDs to the first slot at which they are dead: from
+	// that slot on the node performs no further radio actions.
+	CrashAt map[int]int
+	// CrashRate additionally crashes each remaining node independently
+	// with this probability, at a seeded slot drawn uniformly from
+	// [CrashFrom, CrashUntil). CrashUntil = 0 means the run's horizon.
+	CrashRate             float64
+	CrashFrom, CrashUntil int
+}
+
+// Zero reports whether the spec injects nothing: no loss, no jamming and no
+// churn. A zero spec's injector is observationally identical to no injector.
+func (s Spec) Zero() bool {
+	return s.LossProb == 0 && s.JamChannels == 0 && len(s.CrashAt) == 0 && s.CrashRate == 0
+}
+
+// Validate checks the spec against a deployment of n nodes on the given
+// channel count. Injectors assume a validated spec.
+func (s Spec) Validate(n, channels int) error {
+	if s.LossProb < 0 || s.LossProb > 1 || s.LossProb != s.LossProb {
+		return fmt.Errorf("fault: loss probability %v must be in [0, 1]", s.LossProb)
+	}
+	if s.JamChannels < 0 {
+		return fmt.Errorf("fault: jammed channel count %d must be ≥ 0", s.JamChannels)
+	}
+	if s.JamChannels >= channels && s.JamChannels > 0 {
+		return fmt.Errorf("fault: jamming %d of %d channels leaves none usable", s.JamChannels, channels)
+	}
+	if s.JamModel != JamOblivious && s.JamModel != JamRoundRobin {
+		return fmt.Errorf("fault: unknown jam model %d", int(s.JamModel))
+	}
+	if s.CrashRate < 0 || s.CrashRate > 1 || s.CrashRate != s.CrashRate {
+		return fmt.Errorf("fault: crash rate %v must be in [0, 1]", s.CrashRate)
+	}
+	if s.CrashFrom < 0 {
+		return fmt.Errorf("fault: crash window start %d must be ≥ 0", s.CrashFrom)
+	}
+	if s.CrashUntil != 0 && s.CrashUntil <= s.CrashFrom {
+		return fmt.Errorf("fault: crash window [%d, %d) is empty", s.CrashFrom, s.CrashUntil)
+	}
+	for id, slot := range s.CrashAt {
+		if id < 0 || id >= n {
+			return fmt.Errorf("fault: crash set names node %d, deployment has %d nodes", id, n)
+		}
+		if slot < 0 {
+			return fmt.Errorf("fault: node %d crash slot %d must be ≥ 0", id, slot)
+		}
+	}
+	return nil
+}
+
+// Report summarizes what an Injector did during one run.
+type Report struct {
+	// Slots is the number of slots the injector observed.
+	Slots int
+	// Delivered counts decoded receptions handed to listeners; Lost counts
+	// decoded receptions suppressed by the loss process. Their sum is every
+	// successful decode of the underlying SINR layer (after jamming).
+	Delivered, Lost int
+	// JammedSlotChannels counts (slot, channel) pairs the adversary jammed.
+	JammedSlotChannels int
+	// CrashedNodes lists the nodes whose crash slot fell inside the run,
+	// ascending.
+	CrashedNodes []int
+}
+
+// Crashed reports whether node id crashed during the run.
+func (r Report) Crashed(id int) bool {
+	i := sort.SearchInts(r.CrashedNodes, id)
+	return i < len(r.CrashedNodes) && r.CrashedNodes[i] == id
+}
+
+// SurvivorTally is the surviving-node correctness summary of one run: how
+// many nodes outlived the faults, how many of those learned some aggregate,
+// how many learned the reference value exactly, and the size of the largest
+// set agreeing on a single value (the consensus notion that replaces
+// exactness under churn, where nodes dying before contributing make the
+// full-input fold unreachable).
+type SurvivorTally struct {
+	Survivors, Informed, Exact, Agreeing int
+}
+
+// TallySurvivors folds per-node outcomes into a SurvivorTally. node(i) must
+// report whether node i learned a value and which; want is the reference
+// aggregate for exactness. It is the single definition shared by the facade
+// result and the experiment metrics, so the two cannot drift.
+func (r Report) TallySurvivors(n int, node func(i int) (informed bool, value int64), want int64) SurvivorTally {
+	t := SurvivorTally{Survivors: n - len(r.CrashedNodes)}
+	agree := make(map[int64]int)
+	for i := 0; i < n; i++ {
+		informed, value := node(i)
+		if !informed || r.Crashed(i) {
+			continue
+		}
+		t.Informed++
+		if value == want {
+			t.Exact++
+		}
+		agree[value]++
+	}
+	for _, c := range agree {
+		if c > t.Agreeing {
+			t.Agreeing = c
+		}
+	}
+	return t
+}
+
+// Domain-separation constants for the per-fault sub-seeds, so the loss,
+// jamming and churn processes draw from unrelated streams of one run seed.
+const (
+	lossSalt  = 0x6c6f7373_6d636e65 // "loss"
+	jamSalt   = 0x6a616d6d_6d636e65 // "jamm"
+	churnSalt = 0x63687572_6d636e65 // "chur"
+)
+
+// neverCrashes is the crash slot of an immortal node: above any reachable
+// slot index.
+const neverCrashes = math.MaxInt
+
+// Injector applies one Spec to one run. It implements the simulator's
+// fault hook (sim.FaultInjector); all its methods are invoked from the
+// engine goroutine or during setup, never concurrently.
+//
+// An Injector is single-use: build a fresh one per run, then read Report.
+type Injector struct {
+	spec     Spec
+	channels int
+
+	lossSeed uint64
+	jamSeed  uint64
+
+	crashAt []int // per node, first dead slot (neverCrashes if immortal)
+
+	jammed []int // channels jammed in the current slot (scratch)
+	perm   []int // oblivious k-subset scratch, len == channels
+
+	slots    int
+	lastSlot int
+
+	delivered, lost    int
+	jammedSlotChannels int
+}
+
+// NewInjector builds the injector for one run: n nodes on the given channel
+// count, faults seeded from the run seed, with horizon bounding the
+// rate-based crash window when the spec leaves CrashUntil at 0. The spec
+// must have passed Validate.
+func NewInjector(spec Spec, seed uint64, n, channels, horizon int) *Injector {
+	in := &Injector{
+		spec:     spec,
+		channels: channels,
+		lossSeed: rng.Mix(seed, lossSalt),
+		jamSeed:  rng.Mix(seed, jamSalt),
+		crashAt:  make([]int, n),
+		lastSlot: -1,
+	}
+	if spec.JamChannels > 0 {
+		in.perm = make([]int, channels)
+	}
+	for i := range in.crashAt {
+		in.crashAt[i] = neverCrashes
+	}
+	for id, slot := range spec.CrashAt {
+		if id >= 0 && id < n {
+			in.crashAt[id] = slot
+		}
+	}
+	if spec.CrashRate > 0 {
+		from, until := spec.CrashFrom, spec.CrashUntil
+		if until == 0 {
+			until = horizon
+		}
+		if until <= from {
+			until = from + 1
+		}
+		churnSeed := rng.Mix(seed, churnSalt)
+		for i := 0; i < n; i++ {
+			if in.crashAt[i] != neverCrashes {
+				continue // explicit crash set wins
+			}
+			r := rng.New(rng.Mix(churnSeed, uint64(i)))
+			if r.Float64() < spec.CrashRate {
+				in.crashAt[i] = from + r.Intn(until-from)
+			}
+		}
+	}
+	return in
+}
+
+// BeginSlot runs before the slot is resolved: it reassigns the adversary's
+// jammed channels on the field and advances the slot accounting.
+func (in *Injector) BeginSlot(slot int, field *phy.Field) {
+	in.slots++
+	in.lastSlot = slot
+	k := in.spec.JamChannels
+	if k <= 0 {
+		return
+	}
+	for _, c := range in.jammed {
+		field.Jam(c, false)
+	}
+	in.jammed = in.jammed[:0]
+	switch in.spec.JamModel {
+	case JamRoundRobin:
+		start := (slot * k) % in.channels
+		for j := 0; j < k; j++ {
+			in.jammed = append(in.jammed, (start+j)%in.channels)
+		}
+	default: // JamOblivious
+		// A fresh k-subset per slot via partial Fisher–Yates over a
+		// per-slot seeded stream: deterministic in (seed, slot) alone.
+		r := rng.New(rng.Mix(in.jamSeed, uint64(slot)))
+		for i := range in.perm {
+			in.perm[i] = i
+		}
+		for j := 0; j < k; j++ {
+			swap := j + r.Intn(in.channels-j)
+			in.perm[j], in.perm[swap] = in.perm[swap], in.perm[j]
+			in.jammed = append(in.jammed, in.perm[j])
+		}
+	}
+	for _, c := range in.jammed {
+		field.Jam(c, true)
+	}
+	in.jammedSlotChannels += len(in.jammed)
+}
+
+// FilterReception applies the loss process to one listener's outcome: a
+// decoded message is suppressed with probability LossProb, decided by a pure
+// hash of (seed, slot, node). A lost message degrades to sensed power —
+// exactly how the SINR layer presents an undecodable transmission — so
+// protocols cannot distinguish loss from collision.
+func (in *Injector) FilterReception(slot, node int, rec phy.Reception) phy.Reception {
+	if !rec.Decoded {
+		return rec
+	}
+	if p := in.spec.LossProb; p > 0 && unitFloat(rng.Mix(rng.Mix(in.lossSeed, uint64(slot)), uint64(node))) < p {
+		in.lost++
+		rec.Interference += rec.SignalPower
+		rec.Decoded, rec.From, rec.Msg = false, -1, nil
+		rec.SignalPower, rec.SINR = 0, 0
+		return rec
+	}
+	in.delivered++
+	return rec
+}
+
+// CrashSlot returns the first slot at which node id is dead, or a value
+// larger than any reachable slot if it never crashes.
+func (in *Injector) CrashSlot(id int) int {
+	if id < 0 || id >= len(in.crashAt) {
+		return neverCrashes
+	}
+	return in.crashAt[id]
+}
+
+// Report summarizes the run so far.
+func (in *Injector) Report() Report {
+	rep := Report{
+		Slots:              in.slots,
+		Delivered:          in.delivered,
+		Lost:               in.lost,
+		JammedSlotChannels: in.jammedSlotChannels,
+	}
+	for id, at := range in.crashAt {
+		if at <= in.lastSlot {
+			rep.CrashedNodes = append(rep.CrashedNodes, id)
+		}
+	}
+	return rep
+}
+
+// unitFloat maps a 64-bit hash to [0, 1) with 53-bit resolution.
+func unitFloat(u uint64) float64 {
+	return float64(u>>11) / (1 << 53)
+}

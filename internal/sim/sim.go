@@ -27,6 +27,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -54,6 +55,24 @@ type Event struct {
 // call.
 type TraceFn func(slot int, txs []phy.Tx, rxs []phy.Rx, recs []phy.Reception)
 
+// FaultInjector perturbs slot resolution (see internal/fault). All methods
+// are called from the engine goroutine — BeginSlot before each slot is
+// resolved, FilterReception once per listener after resolution and before
+// Trace observes the slot — except CrashSlot, which is read once per node at
+// run start. Implementations must be deterministic functions of their own
+// seed and the (slot, node) arguments so transcripts stay reproducible.
+type FaultInjector interface {
+	// BeginSlot runs before the slot is resolved and may reconfigure
+	// per-slot channel jamming on the field.
+	BeginSlot(slot int, field *phy.Field)
+	// FilterReception may suppress or degrade one listener's reception.
+	FilterReception(slot, node int, rec phy.Reception) phy.Reception
+	// CrashSlot returns the first slot at which the node is dead — it
+	// performs no radio action at that slot or later — or a value above
+	// any reachable slot if the node never crashes.
+	CrashSlot(node int) int
+}
+
 // Engine drives a set of node programs over a phy.Field.
 type Engine struct {
 	// MaxSlots aborts the run if programs have not all returned by then.
@@ -71,6 +90,11 @@ type Engine struct {
 	// time) but may come from any node's goroutine and stall that node's
 	// slot; keep sinks fast.
 	EventSink func(Event)
+	// Faults, when non-nil, injects message loss, channel jamming and node
+	// crashes into every run (see internal/fault). Set it before Run; a
+	// zero-intensity injector leaves transcripts bit-identical to running
+	// with Faults == nil.
+	Faults FaultInjector
 
 	field *phy.Field
 	seed  uint64
@@ -269,12 +293,16 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 			nodeParams = *e.NodeParams
 		}
 		nctx := &Ctx{
-			id:     i,
-			engine: e,
-			params: nodeParams,
-			Rand:   rng.Stream(e.seed, i),
-			rs:     rs,
-			slot:   startSlot,
+			id:      i,
+			engine:  e,
+			params:  nodeParams,
+			Rand:    rng.Stream(e.seed, i),
+			rs:      rs,
+			slot:    startSlot,
+			crashAt: math.MaxInt,
+		}
+		if e.Faults != nil {
+			nctx.crashAt = e.Faults.CrashSlot(i)
 		}
 		prog := programs[i]
 		go func(i int, nctx *Ctx) {
@@ -394,7 +422,18 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 				rxs = append(rxs, phy.Rx{Node: i, Channel: rs.pending[i].ch})
 			}
 		}
+		if e.Faults != nil {
+			e.Faults.BeginSlot(slot, e.field)
+		}
 		recs := e.field.Resolve(txs, rxs)
+		if e.Faults != nil {
+			// Apply the loss process before Trace so observers and nodes
+			// see the same post-fault world. recs is the field's scratch;
+			// rewriting it in place is safe until the next Resolve.
+			for k := range recs {
+				recs[k] = e.Faults.FilterReception(slot, rxs[k].Node, recs[k])
+			}
+		}
 		if e.Trace != nil {
 			e.Trace(slot, txs, rxs, recs)
 		}
@@ -444,6 +483,12 @@ type Ctx struct {
 	params model.Params
 	rs     *roundState
 	slot   int
+	// crashAt is the first slot at which this node is dead (fault
+	// injection); math.MaxInt for immortal nodes. A node at or past its
+	// crash slot unwinds at its next primitive instead of acting — an
+	// idling node is externally indistinguishable from a dead one, so the
+	// boundary of an IdleFor batch is a faithful crash point.
+	crashAt int
 }
 
 // ID returns this node's index (the model's unique node ID).
@@ -489,6 +534,9 @@ func (c *Ctx) IdleFor(k int) {
 	if rs.aborted.Load() {
 		panic(stopSignal{})
 	}
+	if c.slot >= c.crashAt {
+		panic(stopSignal{})
+	}
 	rs.pending[c.id] = action{kind: actIdleLong, count: k}
 	rs.arrive()
 	select {
@@ -517,6 +565,12 @@ func (c *Ctx) step(a action) phy.Reception {
 	// closes the current release channel, so a node parked below still
 	// wakes and unwinds on its next step.
 	if rs.aborted.Load() {
+		panic(stopSignal{})
+	}
+	// A crashed node powers down instead of acting: the stop-signal unwind
+	// runs the goroutine's termination path, so the engine retires it like
+	// a program that returned.
+	if c.slot >= c.crashAt {
 		panic(stopSignal{})
 	}
 	// The release channel must be sampled before arriving: after the

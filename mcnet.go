@@ -8,6 +8,7 @@ import (
 
 	"mcnet/internal/coloring"
 	"mcnet/internal/core"
+	"mcnet/internal/fault"
 	"mcnet/internal/geo"
 	"mcnet/internal/graph"
 	"mcnet/internal/model"
@@ -33,6 +34,12 @@ type Network struct {
 	maxSlots    int
 	parallelism int
 	farFieldTol float64
+
+	// faults is the fault/dynamics spec; faulted records that a fault
+	// option was given (possibly at zero intensity), which attaches the
+	// injection layer to every run and a FaultReport to results.
+	faults  fault.Spec
+	faulted bool
 
 	mu        sync.Mutex
 	observers []func(Event)
@@ -119,6 +126,15 @@ func New(n int, opts ...Option) (*Network, error) {
 	cfg.PhiMax = d.PhiMax
 	cfg.HopBound = d.HopBound
 
+	// The fault spec can only be validated once the deployment's true n and
+	// channel count are fixed (crash sets name node IDs, jamming must leave
+	// a usable channel).
+	if s.faulted {
+		if err := s.faults.Validate(n, p.Channels); err != nil {
+			return nil, fmt.Errorf("mcnet: %w", err)
+		}
+	}
+
 	return &Network{
 		params:      p,
 		topo:        s.topo,
@@ -129,6 +145,8 @@ func New(n int, opts ...Option) (*Network, error) {
 		maxSlots:    s.maxSlots,
 		parallelism: s.parallelism,
 		farFieldTol: s.farFieldTol,
+		faults:      s.faults,
+		faulted:     s.faulted,
 	}, nil
 }
 
@@ -204,12 +222,19 @@ func (nw *Network) newField(p model.Params) *phy.Field {
 	return f
 }
 
-// newEngine builds a per-run engine with event streaming attached; callers
-// install their own Trace for slot and channel accounting.
-func (nw *Network) newEngine() *sim.Engine {
+// newEngine builds a per-run engine with event streaming and (when fault
+// options were given) a fresh fault injector attached; callers install
+// their own Trace for slot and channel accounting. The injector is returned
+// so runs can surface its Report — nil when the network is fault-free.
+func (nw *Network) newEngine() (*sim.Engine, *fault.Injector) {
 	e := sim.NewEngine(nw.newField(nw.params), nw.seed)
 	if nw.maxSlots > 0 {
 		e.MaxSlots = nw.maxSlots
+	}
+	var inj *fault.Injector
+	if nw.faulted {
+		inj = fault.NewInjector(nw.faults, nw.seed, nw.N(), nw.params.Channels, nw.plan.Offsets.End)
+		e.Faults = inj
 	}
 	nw.mu.Lock()
 	observers := make([]func(Event), len(nw.observers))
@@ -225,7 +250,7 @@ func (nw *Network) newEngine() *sim.Engine {
 			}
 		}
 	}
-	return e
+	return e, inj
 }
 
 // Aggregate runs the full multichannel pipeline: structure construction
@@ -243,7 +268,7 @@ func (nw *Network) Aggregate(ctx context.Context, values []int64, op Aggregator)
 	busySlots := make([]int, nw.params.Channels)
 	seen := make([]bool, nw.params.Channels)
 	slots := 0
-	e := nw.newEngine()
+	e, inj := nw.newEngine()
 	e.Trace = func(_ int, txs []phy.Tx, _ []phy.Rx, _ []phy.Reception) {
 		slots++
 		for i := range seen {
@@ -325,7 +350,28 @@ func (nw *Network) Aggregate(ctx context.Context, values []int64, op Aggregator)
 			out.ChannelUtilization[i] = float64(b) / float64(slots)
 		}
 	}
+	if inj != nil {
+		out.Faults = faultReportOf(inj.Report(), out)
+	}
 	return out, nil
+}
+
+// faultReportOf converts an injector's run summary into the public report,
+// restricting the informed/exact counts to the nodes that survived.
+func faultReportOf(rep fault.Report, out *AggregateResult) *FaultReport {
+	tally := rep.TallySurvivors(len(out.Nodes), func(i int) (bool, int64) {
+		return out.Nodes[i].Informed, out.Nodes[i].Value
+	}, out.Value)
+	return &FaultReport{
+		Delivered:          rep.Delivered,
+		Lost:               rep.Lost,
+		JammedSlotChannels: rep.JammedSlotChannels,
+		CrashedNodes:       rep.CrashedNodes,
+		Survivors:          tally.Survivors,
+		SurvivorsInformed:  tally.Informed,
+		SurvivorsExact:     tally.Exact,
+		SurvivorsAgreeing:  tally.Agreeing,
+	}
 }
 
 // Color runs structure construction followed by the Sec. 7 node-coloring
@@ -335,7 +381,7 @@ func (nw *Network) Aggregate(ctx context.Context, values []int64, op Aggregator)
 func (nw *Network) Color(ctx context.Context) (*ColorResult, error) {
 	n := nw.N()
 	slots := 0
-	e := nw.newEngine()
+	e, _ := nw.newEngine()
 	e.Trace = func(int, []phy.Tx, []phy.Rx, []phy.Reception) { slots++ }
 
 	res, err := coloring.RunContext(ctx, e, nw.plan, coloring.DefaultConfig(), nw.seed)

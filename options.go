@@ -1,6 +1,10 @@
 package mcnet
 
-import "fmt"
+import (
+	"fmt"
+
+	"mcnet/internal/fault"
+)
 
 // settings collects everything New derives a Network from. Options mutate
 // it; zero-valued fields fall back to documented defaults.
@@ -18,6 +22,12 @@ type settings struct {
 
 	parallelism int     // slot-resolution workers; 0 = GOMAXPROCS
 	farFieldTol float64 // far-field relative error; 0 = exact
+
+	// faults is the run's fault/dynamics spec; faulted records that a fault
+	// option was given (even at zero intensity), which attaches the
+	// injection layer and surfaces a FaultReport in results.
+	faults  fault.Spec
+	faulted bool
 }
 
 func defaultSettings() settings {
@@ -165,6 +175,89 @@ func Parallelism(workers int) Option {
 			return fmt.Errorf("mcnet: Parallelism = %d must be ≥ 0", workers)
 		}
 		s.parallelism = workers
+		return nil
+	}
+}
+
+// JamModel selects the jamming adversary's channel-selection strategy for
+// the Jamming option.
+type JamModel int
+
+const (
+	// JamOblivious draws the jammed channels fresh each slot from a seeded
+	// RNG independent of the execution — the oblivious adversary.
+	JamOblivious JamModel = JamModel(fault.JamOblivious)
+	// JamRoundRobin sweeps a block of k consecutive channels cyclically
+	// across the channel space, one step per slot — a deterministic
+	// adversary that disrupts every channel equally over time.
+	JamRoundRobin JamModel = JamModel(fault.JamRoundRobin)
+)
+
+// ChurnSpec configures node churn for the Churn option. Both mechanisms may
+// be combined; explicit crashes win over the rate process on the same node.
+type ChurnSpec struct {
+	// CrashAt maps node IDs to the first slot at which they are dead: from
+	// that slot on the node performs no further radio actions. IDs are
+	// validated against the deployment at New time.
+	CrashAt map[int]int
+	// Rate crashes each remaining node independently with this probability
+	// in [0, 1], at a seeded slot drawn uniformly from [From, Until).
+	// Until = 0 means the run's full slot budget.
+	Rate        float64
+	From, Until int
+}
+
+// Loss sets a per-reception Bernoulli message-loss probability p in [0, 1]:
+// every decoded message is independently suppressed with probability p,
+// decided by a pure hash of (seed, slot, listener) so transcripts replay
+// bit-identically. A lost message degrades to sensed power, exactly how the
+// SINR layer presents an undecodable transmission. Loss(0) attaches the
+// fault layer (results gain a FaultReport) but reproduces the fault-free
+// transcript bit-for-bit.
+//
+// The fault options only record the spec; New validates the combined spec
+// (ranges, jam headroom, crash-set node IDs) once the deployment is known,
+// so fault.Spec.Validate stays the single rule set.
+func Loss(p float64) Option {
+	return func(s *settings) error {
+		s.faults.LossProb = p
+		s.faulted = true
+		return nil
+	}
+}
+
+// Jamming sets an adversary that jams k channels every slot under the given
+// model: nothing decodes on a jammed channel, but listeners still sense its
+// power, as a real jammer would present. k must leave at least one channel
+// usable (k < Channels, checked at New time). Jamming(0, model) attaches
+// the fault layer without jamming anything.
+func Jamming(k int, model JamModel) Option {
+	return func(s *settings) error {
+		s.faults.JamChannels = k
+		s.faults.JamModel = fault.JamModel(model)
+		s.faulted = true
+		return nil
+	}
+}
+
+// Churn sets node churn: nodes crash at explicit slots (spec.CrashAt)
+// and/or at seeded random slots (spec.Rate). A crashed node performs no
+// radio action at or after its crash slot; the run always completes and the
+// result reports how gracefully the survivors degraded. An empty spec
+// attaches the fault layer without crashing anyone.
+func Churn(spec ChurnSpec) Option {
+	return func(s *settings) error {
+		if len(spec.CrashAt) > 0 {
+			s.faults.CrashAt = make(map[int]int, len(spec.CrashAt))
+			for id, slot := range spec.CrashAt {
+				s.faults.CrashAt[id] = slot
+			}
+		} else {
+			s.faults.CrashAt = nil
+		}
+		s.faults.CrashRate = spec.Rate
+		s.faults.CrashFrom, s.faults.CrashUntil = spec.From, spec.Until
+		s.faulted = true
 		return nil
 	}
 }

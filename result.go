@@ -101,6 +101,38 @@ type AggregateResult struct {
 	// ChannelUtilization is, per channel, the fraction of consumed slots in
 	// which at least one node transmitted on it.
 	ChannelUtilization []float64
+
+	// Faults reports what the fault layer did, when the network was built
+	// with a fault option (Loss, Jamming, Churn) — nil on fault-free runs.
+	Faults *FaultReport
+}
+
+// FaultReport summarizes the fault layer's activity during one Aggregate
+// run. Present on AggregateResult only when the Network was built with a
+// fault option; a zero-intensity option yields a report whose loss, jam and
+// crash counts are all zero while the run replays the fault-free transcript.
+type FaultReport struct {
+	// Delivered counts decoded receptions handed to listeners; Lost counts
+	// decoded receptions suppressed by the loss process. Their sum is every
+	// successful decode of the SINR layer (after jamming).
+	Delivered, Lost int
+	// JammedSlotChannels counts (slot, channel) pairs the adversary jammed.
+	JammedSlotChannels int
+	// CrashedNodes lists the nodes whose crash slot fell inside the run,
+	// ascending.
+	CrashedNodes []int
+	// Survivors counts nodes alive at the end of the run;
+	// SurvivorsInformed and SurvivorsExact restrict the result's Informed
+	// and Exact counts to them — the surviving-node aggregate correctness
+	// under churn (crashed nodes legitimately never learn the aggregate).
+	Survivors                         int
+	SurvivorsInformed, SurvivorsExact int
+	// SurvivorsAgreeing is the size of the largest set of informed
+	// survivors that learned the same value. Under churn the full-input
+	// fold is unreachable when nodes die before contributing, so exactness
+	// degrades to consensus: survivors should still agree on one aggregate
+	// of the values that made it in.
+	SurvivorsAgreeing int
 }
 
 // NodeColor is one node's outcome of a Color run.

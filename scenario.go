@@ -1,0 +1,150 @@
+package mcnet
+
+import (
+	"context"
+	"fmt"
+
+	"mcnet/internal/fault"
+	"mcnet/internal/stats"
+)
+
+// Scenario describes a deterministic fault-intensity sweep: one deployment
+// configuration run across a grid of loss probabilities, jammed-channel
+// counts and churn rates, with a fixed number of seeded repetitions per grid
+// point. RunScenario executes the full cross product and reports medians —
+// for a fixed BaseSeed the emitted table is stable across runs.
+type Scenario struct {
+	// Name titles the report (default "scenario").
+	Name string
+	// N is the node count (≥ 2).
+	N int
+	// Options are the base construction options applied to every grid
+	// point (topology, channels, SINR overrides, ...). Per-point Seed,
+	// Loss, Jamming and Churn options are appended after them, so leave
+	// those to the sweep.
+	Options []Option
+	// Loss, Jam and Churn are the sweep axes: loss probabilities,
+	// jammed-channel counts, and rate-based churn probabilities. An empty
+	// axis sweeps the single value 0.
+	Loss  []float64
+	Jam   []int
+	Churn []float64
+	// JamModel picks the jamming adversary (default JamOblivious).
+	JamModel JamModel
+	// Seeds is the number of repetitions per grid point (default 1);
+	// repetition s runs with seed BaseSeed + s. BaseSeed defaults to 1.
+	Seeds    int
+	BaseSeed uint64
+	// Op is the aggregate to compute (default Sum).
+	Op Aggregator
+}
+
+// axes returns the sweep axes with empty ones widened to {0}.
+func (sc Scenario) axes() (loss []float64, jam []int, churn []float64) {
+	loss, jam, churn = sc.Loss, sc.Jam, sc.Churn
+	if len(loss) == 0 {
+		loss = []float64{0}
+	}
+	if len(jam) == 0 {
+		jam = []int{0}
+	}
+	if len(churn) == 0 {
+		churn = []float64{0}
+	}
+	return loss, jam, churn
+}
+
+// RunScenario executes the scenario's full fault grid and returns the
+// report: one row per (loss, jam, churn) point with median latencies and
+// informed / exact / surviving-exact rates across seeds. The sweep is a
+// deterministic function of the scenario, so two consecutive runs emit
+// identical tables. The run aborts promptly with ctx.Err() if ctx is
+// cancelled between points.
+func RunScenario(ctx context.Context, sc Scenario) (*Table, error) {
+	if sc.N < 2 {
+		return nil, fmt.Errorf("mcnet: scenario n = %d must be ≥ 2", sc.N)
+	}
+	name := sc.Name
+	if name == "" {
+		name = "scenario"
+	}
+	seeds := sc.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	baseSeed := sc.BaseSeed
+	if baseSeed == 0 {
+		baseSeed = 1
+	}
+	op := sc.Op
+	if op == nil {
+		op = Sum
+	}
+	loss, jam, churn := sc.axes()
+
+	t := stats.NewTable(
+		fmt.Sprintf("%s: fault sweep (n=%d, %d seeds/point)", name, sc.N, seeds),
+		"loss", "jam", "churn", "informed", "exact", "surv_agree", "lost", "crashed", "ack_slots", "agg_slots")
+	for _, lp := range loss {
+		for _, k := range jam {
+			for _, cr := range churn {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				var acks, aggs []float64
+				informed, exact, total := 0, 0, 0
+				survAgree, survivors := 0, 0
+				lost, crashed := 0, 0
+				for s := 0; s < seeds; s++ {
+					opts := append([]Option{}, sc.Options...)
+					opts = append(opts,
+						Seed(baseSeed+uint64(s)),
+						Loss(lp),
+						Jamming(k, sc.JamModel),
+						Churn(ChurnSpec{Rate: cr}),
+					)
+					nw, err := New(sc.N, opts...)
+					if err != nil {
+						return nil, err
+					}
+					n := nw.N()
+					values := make([]int64, n)
+					for i := range values {
+						values[i] = int64(i + 1)
+					}
+					res, err := nw.Aggregate(ctx, values, op)
+					if err != nil {
+						return nil, err
+					}
+					informed += res.Informed
+					exact += res.Exact
+					total += n
+					acks = append(acks, float64(res.AckSlots))
+					aggs = append(aggs, float64(res.AggSlots))
+					if fr := res.Faults; fr != nil {
+						survAgree += fr.SurvivorsAgreeing
+						survivors += fr.Survivors
+						lost += fr.Lost
+						crashed += len(fr.CrashedNodes)
+					}
+				}
+				t.AddRow(
+					stats.F(lp), stats.I(k), stats.F(cr),
+					scenarioPct(informed, total), scenarioPct(exact, total),
+					scenarioPct(survAgree, survivors),
+					stats.I(lost), stats.I(crashed),
+					stats.F1(stats.Median(acks)), stats.F1(stats.Median(aggs)))
+			}
+		}
+	}
+	t.AddNote("jam model: %s; seeds %d..%d; surv_agree = largest consensus among informed survivors",
+		fault.JamModel(sc.JamModel), baseSeed, baseSeed+uint64(seeds)-1)
+	return &Table{t: t}, nil
+}
+
+func scenarioPct(a, b int) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(a)/float64(b))
+}
