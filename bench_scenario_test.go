@@ -1,0 +1,48 @@
+package mcnet
+
+import (
+	"context"
+	"testing"
+)
+
+// benchSweep is the BenchmarkScenarioSweep workload: a multi-seed fault
+// grid (2 loss × 2 jam points, 4 seeds each = 16 runs) of the kind
+// mcscenario executes, small enough for the CI tripwire's -benchtime=1x
+// and large enough that batch-level parallelism dominates per-run noise.
+func benchSweep(workers int) Scenario {
+	return Scenario{
+		Name:    "bench",
+		N:       64,
+		Loss:    []float64{0, 0.05},
+		Jam:     []int{0, 1},
+		Seeds:   4,
+		Workers: workers,
+	}
+}
+
+// BenchmarkScenarioSweep measures the batch execution layer end to end:
+// the identical sweep run serially (Workers=1) and across the default
+// worker pool (Workers=0 = GOMAXPROCS). Both emit byte-identical tables —
+// see TestRunScenarioParallelIdentity — so the ns/op gap is pure
+// orchestration speedup. The serial/parallel pair feeds the benchdiff
+// tripwire, which guards both the per-run cost and the pool's scaling.
+//
+// Run with: go test -bench=BenchmarkScenarioSweep -benchtime=1x
+func BenchmarkScenarioSweep(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			sc := benchSweep(bc.workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := RunScenario(context.Background(), sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

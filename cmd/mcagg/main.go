@@ -26,10 +26,11 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 	fs := flag.NewFlagSet("mcagg", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		exp   = fs.String("exp", "all", "experiment id: e1..e10, a1..a3 or all")
-		seeds = fs.Int("seeds", 3, "repetitions per sweep point")
-		quick = fs.Bool("quick", false, "shrink sweeps for a fast run")
-		csv   = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp      = fs.String("exp", "all", "experiment id: e1..e10, a1..a3 or all")
+		seeds    = fs.Int("seeds", 3, "repetitions per sweep point")
+		quick    = fs.Bool("quick", false, "shrink sweeps for a fast run")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = fs.Int("parallel", 0, "worker-pool size for multi-seed sweeps (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		exit(2)
@@ -40,7 +41,12 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		exit(2)
 		return
 	}
-	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick}
+	if *parallel < 0 {
+		fmt.Fprintf(errOut, "mcagg: -parallel = %d must be ≥ 0 (0 = GOMAXPROCS)\n", *parallel)
+		exit(2)
+		return
+	}
+	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick, Parallel: *parallel}
 	var tables []*mcnet.Table
 	if strings.EqualFold(*exp, "all") {
 		ts, err := mcnet.AllExperiments(o)

@@ -1,8 +1,9 @@
 // Command mcscenario sweeps fault-intensity grids over the multichannel
 // aggregation pipeline: probabilistic message loss, adversarial channel
 // jamming and node churn, in every combination, with medians over seeded
-// repetitions. The sweep is deterministic — a fixed -seed emits an
-// identical table across runs.
+// repetitions. Runs execute across a worker pool (-parallel; grid-point
+// progress goes to stderr) and the sweep is deterministic — a fixed -seed
+// emits a byte-identical table across runs and worker counts.
 //
 // Usage:
 //
@@ -10,6 +11,7 @@
 //	mcscenario -jam 0,1,2 -jam-model roundrobin       # jamming sweep
 //	mcscenario -churn 0,0.1,0.2 -seeds 3              # churn sweep, 3 seeds/point
 //	mcscenario -loss 0,0.1 -jam 0,1 -churn 0,0.1 -csv # full grid, CSV
+//	mcscenario -loss 0,0.1 -seeds 8 -parallel 4       # 4 workers, same table
 package main
 
 import (
@@ -41,6 +43,8 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		churn    = fs.String("churn", "0", "comma-separated crash rates in [0, 1]")
 		name     = fs.String("name", "mcscenario", "report title")
 		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		parallel = fs.Int("parallel", 0, "worker-pool size for the sweep's runs (0 = GOMAXPROCS, 1 = serial)")
+		quiet    = fs.Bool("quiet", false, "suppress grid-point progress on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		exit(2)
@@ -60,6 +64,10 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 	}
 	if *seeds < 1 {
 		fail("-seeds = %d must be ≥ 1", *seeds)
+		return
+	}
+	if *parallel < 0 {
+		fail("-parallel = %d must be ≥ 0 (0 = GOMAXPROCS)", *parallel)
 		return
 	}
 	var topo mcnet.Topology
@@ -126,6 +134,23 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		}
 	}
 
+	// Progress: one line per grid point's worth of completed runs, so long
+	// sweeps show life on stderr without flooding it. Parallel workers
+	// interleave runs from several grid points, so the point counter is the
+	// completed-work equivalent (exact only for -parallel 1, where runs
+	// finish in grid order).
+	points := len(lossGrid) * len(jamGrid) * len(churnGrid)
+	var progress func(done, total int)
+	if !*quiet {
+		fmt.Fprintf(errOut, "mcscenario: sweeping %d grid points × %d seeds = %d runs\n",
+			points, *seeds, points**seeds)
+		progress = func(done, total int) {
+			if done%*seeds == 0 || done == total {
+				fmt.Fprintf(errOut, "mcscenario: %d/%d runs (≈ %d/%d grid points)\n",
+					done, total, done / *seeds, points)
+			}
+		}
+	}
 	tb, err := mcnet.RunScenario(context.Background(), mcnet.Scenario{
 		Name:     *name,
 		N:        *n,
@@ -136,6 +161,8 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		JamModel: model,
 		Seeds:    *seeds,
 		BaseSeed: *seed,
+		Workers:  *parallel,
+		Progress: progress,
 	})
 	if err != nil {
 		fmt.Fprintln(errOut, "mcscenario:", err)

@@ -40,6 +40,25 @@
 // crashed nodes, surviving-node correctness). RunScenario sweeps fault
 // grids and renders the standard tables; cmd/mcscenario is its CLI.
 //
+// # Batch execution
+//
+// Sweeps — fault grids, experiment axes, seeded repetitions — are sets of
+// independent runs, and RunBatch executes them across a worker pool: one
+// RunSpec per run (seed plus fault intensities layered onto shared base
+// options), results returned in spec order. The determinism guarantee is
+// strict: every worker count produces exactly the results a serial loop
+// over New + Aggregate would have, in the same order, so tables built from
+// a batch are byte-identical at any parallelism — the pool trades
+// wall-clock time only. Precomputation is shared: specs with equal seeds
+// reuse one deployment construction (topology layout, derived sizing,
+// pipeline plan) with only the per-spec fault layer swapped in, so a fault
+// grid over s seeds costs s deployment builds rather than one per run.
+// RunScenario, the experiment suite (ExperimentOptions.Parallel) and both
+// CLIs (-parallel) run on this layer; Scenario.Progress and
+// BatchOptions.Progress report completed runs for long sweeps. The first
+// run error aborts a batch, and a cancelled context returns ctx.Err()
+// promptly without leaking goroutines.
+//
 // # Performance options
 //
 // Slot resolution is the hot path and has two knobs. Parallelism sets the

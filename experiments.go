@@ -20,6 +20,10 @@ type ExperimentOptions struct {
 	Seeds int
 	// Quick shrinks the sweeps for tests and smoke runs.
 	Quick bool
+	// Parallel sizes the worker pool each experiment's (sweep point × seed)
+	// runs execute across: 0 (the default) uses GOMAXPROCS, 1 forces the
+	// serial sweep. Tables are byte-identical at every setting.
+	Parallel int
 }
 
 // Table is a rendered experiment result.
@@ -50,7 +54,7 @@ func RunExperiment(id string, o ExperimentOptions) (*Table, error) {
 		return nil, fmt.Errorf("mcnet: %w %q (valid: %s; use AllExperiments for the suite)",
 			ErrUnknownExperiment, id, strings.Join(ExperimentIDs(), ", "))
 	}
-	tb, err := runner(expt.Options{Seeds: o.Seeds, Quick: o.Quick})
+	tb, err := runner(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel})
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +63,7 @@ func RunExperiment(id string, o ExperimentOptions) (*Table, error) {
 
 // AllExperiments runs the full e1..e10 suite in order.
 func AllExperiments(o ExperimentOptions) ([]*Table, error) {
-	ts, err := expt.All(expt.Options{Seeds: o.Seeds, Quick: o.Quick})
+	ts, err := expt.All(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel})
 	out := make([]*Table, len(ts))
 	for i, tb := range ts {
 		out[i] = &Table{t: tb}

@@ -1,0 +1,181 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrderedResults checks that results land by index at every worker
+// count, identically to the serial loop.
+func TestMapOrderedResults(t *testing.T) {
+	const n = 100
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{0, 1, 2, 7, runtime.GOMAXPROCS(0)} {
+		got, err := Map(context.Background(), Pool{Workers: workers}, n,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunUsesAllWorkers checks that items genuinely run concurrently.
+func TestRunUsesAllWorkers(t *testing.T) {
+	const workers = 4
+	var peak, cur atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	err := Pool{Workers: workers}.Run(context.Background(), workers, func(context.Context, int) error {
+		if c := cur.Add(1); c > peak.Load() {
+			peak.Store(c)
+		}
+		if peak.Load() == workers {
+			once.Do(func() { close(release) })
+		}
+		select {
+		case <-release:
+		case <-time.After(5 * time.Second):
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() != workers {
+		t.Fatalf("peak concurrency = %d, want %d", peak.Load(), workers)
+	}
+}
+
+// TestFirstErrorStopsBatch checks that an error halts new work and is
+// propagated.
+func TestFirstErrorStopsBatch(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	err := Pool{Workers: 1}.Run(context.Background(), 100, func(_ context.Context, i int) error {
+		started.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if got := started.Load(); got != 4 {
+		t.Fatalf("serial pool started %d items after error at index 3, want 4", got)
+	}
+}
+
+// TestCancellationPrompt checks that cancelling the context mid-batch
+// returns ctx.Err() promptly and leaks no goroutines, even while items are
+// blocked on work that honors the context.
+func TestCancellationPrompt(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	var entered sync.WaitGroup
+	entered.Add(2)
+	go func() {
+		errc <- Pool{Workers: 2}.Run(ctx, 64, func(runCtx context.Context, i int) error {
+			if i < 2 {
+				entered.Done()
+			}
+			select {
+			case <-runCtx.Done():
+				return runCtx.Err()
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("item %d never saw cancellation", i)
+			}
+		})
+	}()
+	entered.Wait()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return within 2s of cancellation")
+	}
+	// Workers must all have exited: allow the runtime a moment to reap.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines grew from %d to %d after cancelled batch", before, now)
+	}
+}
+
+// TestPreCancelledContext checks that an already-cancelled context runs
+// nothing.
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := Pool{}.Run(ctx, 10, func(context.Context, int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("item ran under a pre-cancelled context")
+	}
+}
+
+// TestProgressSerialized checks the callback fires once per item, is never
+// concurrent, and reaches (n, n).
+func TestProgressSerialized(t *testing.T) {
+	const n = 50
+	var inCallback atomic.Int64
+	var calls int
+	last := 0
+	p := Pool{Workers: 4, Progress: func(done, total int) {
+		if inCallback.Add(1) != 1 {
+			t.Error("progress callback ran concurrently")
+		}
+		defer inCallback.Add(-1)
+		calls++
+		if done < 1 || done > n || total != n {
+			t.Errorf("progress(%d, %d) out of range", done, total)
+		}
+		if done <= last {
+			t.Errorf("progress done went %d -> %d, want strictly increasing", last, done)
+		}
+		last = done
+	}}
+	if err := p.Run(context.Background(), n, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != n || last != n {
+		t.Fatalf("progress calls = %d (last done %d), want %d", calls, last, n)
+	}
+}
+
+// TestEmptyBatch checks the degenerate sizes.
+func TestEmptyBatch(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		err := (Pool{}).Run(context.Background(), n, func(context.Context, int) error {
+			t.Fatal("fn called for empty batch")
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}

@@ -21,30 +21,44 @@ func A1BackoffAblation(o Options) (*stats.Table, error) {
 		n = 64
 	}
 	const f = 4
+	variants := []bool{false, true}
+	type a1Run struct {
+		ack                            float64
+		acked, followers, exact, total int
+	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(variants)*seeds, func(i int) (a1Run, error) {
+		disable, s := variants[i/seeds], i%seeds
+		p := model.Default(f, n)
+		pos := Crowd(p, n, uint64(s+51))
+		values, _ := sequentialValues(n)
+		cfg := core.DefaultConfig(p)
+		cfg.DeltaHat = n
+		cfg.PhiMax = 4
+		cfg.HopBound = 2
+		cfg.DisableBackoff = disable
+		m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(2000+s))
+		if err != nil {
+			return a1Run{}, err
+		}
+		return a1Run{float64(m.AckSlots), m.FollowersAcked, m.Followers, m.Exact, m.N}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("A1: backoff ablation (crowd n=%d, F=%d)", n, f),
 		"variant", "ack_slots", "followers_acked", "exact")
-	for _, disable := range []bool{false, true} {
+	for vi, disable := range variants {
 		var acks []float64
 		ackedN, followers, exact, total := 0, 0, 0, 0
-		for s := 0; s < o.seeds(); s++ {
-			p := model.Default(f, n)
-			pos := Crowd(p, n, uint64(s+51))
-			values, _ := sequentialValues(n)
-			cfg := core.DefaultConfig(p)
-			cfg.DeltaHat = n
-			cfg.PhiMax = 4
-			cfg.HopBound = 2
-			cfg.DisableBackoff = disable
-			m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(2000+s))
-			if err != nil {
-				return nil, err
-			}
-			acks = append(acks, float64(m.AckSlots))
-			ackedN += m.FollowersAcked
-			followers += m.Followers
-			exact += m.Exact
-			total += m.N
+		for s := 0; s < seeds; s++ {
+			r := runs[vi*seeds+s]
+			acks = append(acks, r.ack)
+			ackedN += r.acked
+			followers += r.followers
+			exact += r.exact
+			total += r.total
 		}
 		name := "with backoff (paper)"
 		if disable {
@@ -64,30 +78,40 @@ func A2TDMAAblation(o Options) (*stats.Table, error) {
 	if o.Quick {
 		n = 48
 	}
+	phis := []int{24, 1}
+	type a2Run struct {
+		informed, exact, total int
+	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(phis)*seeds, func(i int) (a2Run, error) {
+		phi, s := phis[i/seeds], i%seeds
+		p := model.Default(4, 2*n)
+		rnd := newRand(uint64(2100*n + s))
+		pos := topology.UniformDegree(rnd, n, p.REps(), 14)
+		values, _ := sequentialValues(n)
+		cfg := core.DefaultConfig(p)
+		cfg.DeltaHat = 32
+		cfg.PhiMax = phi
+		cfg.HopBound = 14
+		m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(2200+s))
+		if err != nil {
+			return a2Run{}, err
+		}
+		return a2Run{m.Informed, m.Exact, m.N}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("A2: TDMA ablation (sparse field n=%d, F=4)", n),
 		"variant", "informed", "exact")
-	for _, phi := range []int{24, 1} {
+	for pi, phi := range phis {
 		informed, exact, total := 0, 0, 0
-		for s := 0; s < o.seeds(); s++ {
-			p := model.Default(4, 2*n)
-			rnd := newRand(uint64(2100*n + s))
-			pos := topology.UniformDegree(rnd, n, p.REps(), 14)
-			values, want := sequentialValues(n)
-			cfg := core.DefaultConfig(p)
-			cfg.DeltaHat = 32
-			cfg.PhiMax = phi
-			cfg.HopBound = 14
-			pl := core.NewPlan(p, cfg)
-			m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(2200+s))
-			if err != nil {
-				return nil, err
-			}
-			_ = pl
-			_ = want
-			informed += m.Informed
-			exact += m.Exact
-			total += m.N
+		for s := 0; s < seeds; s++ {
+			r := runs[pi*seeds+s]
+			informed += r.informed
+			exact += r.exact
+			total += r.total
 		}
 		name := fmt.Sprintf("PhiMax=%d (TDMA on)", phi)
 		if phi == 1 {
@@ -108,28 +132,42 @@ func A3ChannelSpreadAblation(o Options) (*stats.Table, error) {
 		n = 64
 	}
 	const f = 8
+	c1s := []float64{1.0, 1e9}
+	type a3Run struct {
+		ack          float64
+		exact, total int
+	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(c1s)*seeds, func(i int) (a3Run, error) {
+		c1, s := c1s[i/seeds], i%seeds
+		p := model.Default(f, n)
+		pos := Crowd(p, n, uint64(s+61))
+		values, _ := sequentialValues(n)
+		cfg := core.DefaultConfig(p)
+		cfg.DeltaHat = n
+		cfg.PhiMax = 4
+		cfg.HopBound = 2
+		cfg.C1 = c1
+		m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(2300+s))
+		if err != nil {
+			return a3Run{}, err
+		}
+		return a3Run{float64(m.AckSlots), m.Exact, m.N}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("A3: channel-spread ablation (crowd n=%d, F=%d)", n, f),
 		"variant", "ack_slots", "exact")
-	for _, c1 := range []float64{1.0, 1e9} {
+	for ci, c1 := range c1s {
 		var acks []float64
 		exact, total := 0, 0
-		for s := 0; s < o.seeds(); s++ {
-			p := model.Default(f, n)
-			pos := Crowd(p, n, uint64(s+61))
-			values, _ := sequentialValues(n)
-			cfg := core.DefaultConfig(p)
-			cfg.DeltaHat = n
-			cfg.PhiMax = 4
-			cfg.HopBound = 2
-			cfg.C1 = c1
-			m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(2300+s))
-			if err != nil {
-				return nil, err
-			}
-			acks = append(acks, float64(m.AckSlots))
-			exact += m.Exact
-			total += m.N
+		for s := 0; s < seeds; s++ {
+			r := runs[ci*seeds+s]
+			acks = append(acks, r.ack)
+			exact += r.exact
+			total += r.total
 		}
 		name := "f_v adaptive (paper)"
 		if c1 > 100 {

@@ -27,6 +27,10 @@ type Options struct {
 	Seeds int
 	// Quick shrinks the sweep for tests and smoke runs.
 	Quick bool
+	// Parallel sizes the worker pool the sweep's (axis × seed) runs execute
+	// across: 0 (the default) uses GOMAXPROCS, 1 forces the serial sweep.
+	// Tables are byte-identical at every setting.
+	Parallel int
 }
 
 // DefaultOptions is the full-size configuration used by the benchmarks.
@@ -39,6 +43,15 @@ func (o Options) seeds() int {
 	return o.Seeds
 }
 
+// aggRun carries the per-run metrics an aggregation sweep folds into its
+// table rows.
+type aggRun struct {
+	ack, agg float64
+	informed int
+	exact    int
+	n        int
+}
+
 // E1SpeedupVsChannels measures aggregation latency on a single-cluster
 // crowd while sweeping the channel count F: the headline linear-speedup
 // claim (Theorem 22, the Δ/F term).
@@ -49,30 +62,39 @@ func E1SpeedupVsChannels(o Options) (*stats.Table, error) {
 		n = 64
 		fs = []int{1, 4}
 	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(fs)*seeds, func(i int) (aggRun, error) {
+		f, s := fs[i/seeds], i%seeds
+		p := model.Default(f, n)
+		pos := Crowd(p, n, uint64(s+1))
+		values, _ := sequentialValues(n)
+		cfg := core.DefaultConfig(p)
+		cfg.DeltaHat = n
+		cfg.PhiMax = 4
+		cfg.HopBound = 2
+		m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(100*f+s))
+		if err != nil {
+			return aggRun{}, err
+		}
+		return aggRun{float64(m.AckSlots), float64(m.AggSlots), m.Informed, m.Exact, m.N}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("E1: aggregation vs channels (crowd n=%d, Δ=n-1)", n),
 		"F", "ack_slots", "agg_slots", "speedup", "informed", "exact")
 	var base float64
-	for _, f := range fs {
+	for fi, f := range fs {
 		var acks, aggs []float64
 		informed, exact, total := 0, 0, 0
-		for s := 0; s < o.seeds(); s++ {
-			p := model.Default(f, n)
-			pos := Crowd(p, n, uint64(s+1))
-			values, _ := sequentialValues(n)
-			cfg := core.DefaultConfig(p)
-			cfg.DeltaHat = n
-			cfg.PhiMax = 4
-			cfg.HopBound = 2
-			m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(100*f+s))
-			if err != nil {
-				return nil, err
-			}
-			acks = append(acks, float64(m.AckSlots))
-			aggs = append(aggs, float64(m.AggSlots))
-			informed += m.Informed
-			exact += m.Exact
-			total += m.N
+		for s := 0; s < seeds; s++ {
+			r := runs[fi*seeds+s]
+			acks = append(acks, r.ack)
+			aggs = append(aggs, r.agg)
+			informed += r.informed
+			exact += r.exact
+			total += r.n
 		}
 		ack := stats.Median(acks)
 		aggT := stats.Median(aggs)
@@ -97,28 +119,37 @@ func E2AggVsN(o Options) (*stats.Table, error) {
 		ns = []int{48, 96}
 	}
 	const f = 8
+	seeds := o.seeds()
+	runs, err := sweep(o, len(ns)*seeds, func(i int) (aggRun, error) {
+		n, s := ns[i/seeds], i%seeds
+		p := model.Default(f, n)
+		pos := Crowd(p, n, uint64(s+11))
+		values, _ := sequentialValues(n)
+		cfg := core.DefaultConfig(p)
+		cfg.DeltaHat = n
+		cfg.PhiMax = 4
+		cfg.HopBound = 2
+		m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(1000*n+s))
+		if err != nil {
+			return aggRun{}, err
+		}
+		return aggRun{float64(m.AckSlots), float64(m.AggSlots), m.Informed, m.Exact, m.N}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("E2: aggregation vs n (crowd, F=%d)", f),
 		"n", "Delta", "ack_slots", "agg_slots", "exact")
-	for _, n := range ns {
+	for ni, n := range ns {
 		var acks, aggs []float64
 		exact, total := 0, 0
-		for s := 0; s < o.seeds(); s++ {
-			p := model.Default(f, n)
-			pos := Crowd(p, n, uint64(s+11))
-			values, _ := sequentialValues(n)
-			cfg := core.DefaultConfig(p)
-			cfg.DeltaHat = n
-			cfg.PhiMax = 4
-			cfg.HopBound = 2
-			m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(1000*n+s))
-			if err != nil {
-				return nil, err
-			}
-			acks = append(acks, float64(m.AckSlots))
-			aggs = append(aggs, float64(m.AggSlots))
-			exact += m.Exact
-			total += m.N
+		for s := 0; s < seeds; s++ {
+			r := runs[ni*seeds+s]
+			acks = append(acks, r.ack)
+			aggs = append(aggs, r.agg)
+			exact += r.exact
+			total += r.n
 		}
 		t.AddRow(stats.I(n), stats.I(n-1), stats.F1(stats.Median(acks)),
 			stats.F1(stats.Median(aggs)), pct(exact, total))
@@ -128,28 +159,22 @@ func E2AggVsN(o Options) (*stats.Table, error) {
 }
 
 // E3Baselines compares the multichannel pipeline against the single-channel
-// comparators on the same field.
+// comparators on the same field. One sweep job covers all four algorithms
+// for one seed — they share the seed's layout, so the comparison stays
+// within-seed while seeds run in parallel.
 func E3Baselines(o Options) (*stats.Table, error) {
 	n := 128
 	if o.Quick {
 		n = 48
 	}
-	t := stats.NewTable(
-		fmt.Sprintf("E3: aggregation vs baselines (crowd n=%d)", n),
-		"algorithm", "slots", "exact")
-	type row struct {
-		name  string
-		slots []float64
-		exact int
-		total int
+	const algos = 4
+	type e3Run struct {
+		slots [algos]float64
+		exact [algos]int
+		total [algos]int
 	}
-	rows := []*row{
-		{name: "multichannel F=8"},
-		{name: "multichannel F=1"},
-		{name: "single-channel tree"},
-		{name: "TDMA by ID (centralized)"},
-	}
-	for s := 0; s < o.seeds(); s++ {
+	runs, err := sweep(o, o.seeds(), func(s int) (e3Run, error) {
+		var r e3Run
 		seed := uint64(s + 21)
 		values, want := sequentialValues(n)
 
@@ -162,11 +187,11 @@ func E3Baselines(o Options) (*stats.Table, error) {
 			cfg.HopBound = 2
 			m, err := RunAgg(pos, p, cfg, values, agg.Sum, seed*7+uint64(idx))
 			if err != nil {
-				return nil, err
+				return r, err
 			}
-			rows[idx].slots = append(rows[idx].slots, float64(m.AggSlots))
-			rows[idx].exact += m.Exact
-			rows[idx].total += m.N
+			r.slots[idx] = float64(m.AggSlots)
+			r.exact[idx] = m.Exact
+			r.total[idx] = m.N
 		}
 
 		p := model.Default(1, n)
@@ -174,7 +199,7 @@ func E3Baselines(o Options) (*stats.Table, error) {
 		e := sim.NewEngine(phy.NewField(p, pos), seed*13)
 		out, err := baseline.SingleChannelTree(e, values, agg.Sum, n-1, 3)
 		if err != nil {
-			return nil, err
+			return r, err
 		}
 		last := 0
 		for _, ev := range e.Events() {
@@ -185,29 +210,49 @@ func E3Baselines(o Options) (*stats.Table, error) {
 				}
 			}
 		}
-		rows[2].slots = append(rows[2].slots, float64(last))
-		for _, r := range out {
-			if r.Done && r.Value == want {
-				rows[2].exact++
+		r.slots[2] = float64(last)
+		for _, res := range out {
+			if res.Done && res.Value == want {
+				r.exact[2]++
 			}
-			rows[2].total++
+			r.total[2]++
 		}
 
 		e = sim.NewEngine(phy.NewField(p, pos), seed*17)
 		tout, err := baseline.TDMAByID(e, pos, values, agg.Sum)
 		if err != nil {
-			return nil, err
+			return r, err
 		}
-		rows[3].slots = append(rows[3].slots, float64(2*n))
-		for _, r := range tout {
-			if r.Done && r.Value == want {
-				rows[3].exact++
+		r.slots[3] = float64(2 * n)
+		for _, res := range tout {
+			if res.Done && res.Value == want {
+				r.exact[3]++
 			}
-			rows[3].total++
+			r.total[3]++
 		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, r := range rows {
-		t.AddRow(r.name, stats.F1(stats.Median(r.slots)), pct(r.exact, r.total))
+	t := stats.NewTable(
+		fmt.Sprintf("E3: aggregation vs baselines (crowd n=%d)", n),
+		"algorithm", "slots", "exact")
+	names := []string{
+		"multichannel F=8",
+		"multichannel F=1",
+		"single-channel tree",
+		"TDMA by ID (centralized)",
+	}
+	for idx, name := range names {
+		var slots []float64
+		exact, total := 0, 0
+		for _, r := range runs {
+			slots = append(slots, r.slots[idx])
+			exact += r.exact[idx]
+			total += r.total[idx]
+		}
+		t.AddRow(name, stats.F1(stats.Median(slots)), pct(exact, total))
 	}
 	t.AddNote("seeds=%d; slots = event-measured completion of the aggregate", o.seeds())
 	return t, nil
@@ -222,41 +267,60 @@ func E4Coloring(o Options) (*stats.Table, error) {
 		n = 40
 		fs = []int{1, 4}
 	}
+	type e4Run struct {
+		time                                  float64
+		palette, greedy, conflicts, uncolored int
+	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(fs)*seeds, func(i int) (e4Run, error) {
+		f, s := fs[i/seeds], i%seeds
+		p := model.Default(f, n)
+		pos := Crowd(p, n, uint64(s+31))
+		cfg := core.DefaultConfig(p)
+		cfg.DeltaHat = n
+		cfg.PhiMax = 4
+		cfg.HopBound = 2
+		pl := core.NewPlan(p, cfg)
+		e := sim.NewEngine(phy.NewField(p, pos), uint64(300*f+s))
+		res, err := coloring.Run(e, pl, coloring.DefaultConfig(), uint64(s))
+		if err != nil {
+			return e4Run{}, err
+		}
+		c, u, pal := coloring.Validate(pos, p.REps(), res)
+		last := 0
+		for _, ev := range e.Events() {
+			if ev.Name == coloring.EventColored && ev.Slot > last {
+				last = ev.Slot
+			}
+		}
+		return e4Run{
+			time:      float64(last - pl.Offsets.Followers),
+			palette:   pal,
+			greedy:    baseline.MaxColor(baseline.GreedyColors(pos, p.REps())),
+			conflicts: c,
+			uncolored: u,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("E4: node coloring (crowd n=%d, Δ=n-1)", n),
 		"F", "color_slots", "palette", "greedy_ref", "conflicts", "uncolored")
-	for _, f := range fs {
+	for fi, f := range fs {
 		var times []float64
 		palette, conflicts, uncolored, greedyRef := 0, 0, 0, 0
-		for s := 0; s < o.seeds(); s++ {
-			p := model.Default(f, n)
-			pos := Crowd(p, n, uint64(s+31))
-			cfg := core.DefaultConfig(p)
-			cfg.DeltaHat = n
-			cfg.PhiMax = 4
-			cfg.HopBound = 2
-			pl := core.NewPlan(p, cfg)
-			e := sim.NewEngine(phy.NewField(p, pos), uint64(300*f+s))
-			res, err := coloring.Run(e, pl, coloring.DefaultConfig(), uint64(s))
-			if err != nil {
-				return nil, err
+		for s := 0; s < seeds; s++ {
+			r := runs[fi*seeds+s]
+			conflicts += r.conflicts
+			uncolored += r.uncolored
+			if r.palette > palette {
+				palette = r.palette
 			}
-			c, u, pal := coloring.Validate(pos, p.REps(), res)
-			conflicts += c
-			uncolored += u
-			if pal > palette {
-				palette = pal
+			if r.greedy > greedyRef {
+				greedyRef = r.greedy
 			}
-			if gr := baseline.MaxColor(baseline.GreedyColors(pos, p.REps())); gr > greedyRef {
-				greedyRef = gr
-			}
-			last := 0
-			for _, ev := range e.Events() {
-				if ev.Name == coloring.EventColored && ev.Slot > last {
-					last = ev.Slot
-				}
-			}
-			times = append(times, float64(last-pl.Offsets.Followers))
+			times = append(times, r.time)
 		}
 		t.AddRow(stats.I(f), stats.F1(stats.Median(times)), stats.I(palette),
 			stats.I(greedyRef), stats.I(conflicts), stats.I(uncolored))
@@ -272,52 +336,65 @@ func E5RulingSet(o Options) (*stats.Table, error) {
 	if o.Quick {
 		ns = []int{64, 128}
 	}
+	const r = 0.06
+	type e5Run struct {
+		rounds      float64
+		viol, undom int
+	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(ns)*seeds, func(i int) (e5Run, error) {
+		n, s := ns[i/seeds], i%seeds
+		p := model.Default(1, n)
+		rnd := newRand(uint64(500*n + s))
+		// Constant areal density (the regime the pipeline invokes ruling
+		// sets in), with one in eight nodes placed as a close "twin" of
+		// an earlier node so the HELLO/ACK/IN resolution is exercised.
+		side := 0.35 * math.Sqrt(float64(n))
+		pos := topology.Uniform(rnd, n-n/8, side, side)
+		for len(pos) < n {
+			base := pos[rnd.Intn(len(pos))]
+			pos = append(pos, geo.Point{
+				X: base.X + (rnd.Float64()*2-1)*r/3,
+				Y: base.Y + (rnd.Float64()*2-1)*r/3,
+			})
+		}
+		cfg := ruling.DefaultConfig(r, 0)
+		e := sim.NewEngine(phy.NewField(p, pos), uint64(s+1))
+		out := make([]ruling.Outcome, n)
+		progs := make([]sim.Program, n)
+		for i := range progs {
+			i := i
+			progs[i] = func(ctx *sim.Ctx) { out[i] = ruling.Run(ctx, cfg) }
+		}
+		if _, err := e.Run(progs); err != nil {
+			return e5Run{}, err
+		}
+		maxRound := 0
+		part := make([]bool, n)
+		inset := make([]bool, n)
+		for i, oc := range out {
+			part[i] = true
+			inset[i] = oc.InSet
+			if oc.JoinRound > maxRound && oc.JoinRound < cfg.Rounds(p) {
+				maxRound = oc.JoinRound
+			}
+		}
+		v, u := ruling.Validate(pos, part, inset, r)
+		return e5Run{rounds: float64(maxRound + 1), viol: v, undom: u}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("E5: ruling set (sparse fields)",
 		"n", "rounds_done", "budget_rounds", "violations", "undominated")
-	const r = 0.06
-	for _, n := range ns {
+	for ni, n := range ns {
 		var rounds []float64
 		viol, undom := 0, 0
-		for s := 0; s < o.seeds(); s++ {
-			p := model.Default(1, n)
-			rnd := newRand(uint64(500*n + s))
-			// Constant areal density (the regime the pipeline invokes ruling
-			// sets in), with one in eight nodes placed as a close "twin" of
-			// an earlier node so the HELLO/ACK/IN resolution is exercised.
-			side := 0.35 * math.Sqrt(float64(n))
-			pos := topology.Uniform(rnd, n-n/8, side, side)
-			for len(pos) < n {
-				base := pos[rnd.Intn(len(pos))]
-				pos = append(pos, geo.Point{
-					X: base.X + (rnd.Float64()*2-1)*r/3,
-					Y: base.Y + (rnd.Float64()*2-1)*r/3,
-				})
-			}
-			cfg := ruling.DefaultConfig(r, 0)
-			e := sim.NewEngine(phy.NewField(p, pos), uint64(s+1))
-			out := make([]ruling.Outcome, n)
-			progs := make([]sim.Program, n)
-			for i := range progs {
-				i := i
-				progs[i] = func(ctx *sim.Ctx) { out[i] = ruling.Run(ctx, cfg) }
-			}
-			if _, err := e.Run(progs); err != nil {
-				return nil, err
-			}
-			maxRound := 0
-			part := make([]bool, n)
-			inset := make([]bool, n)
-			for i, oc := range out {
-				part[i] = true
-				inset[i] = oc.InSet
-				if oc.JoinRound > maxRound && oc.JoinRound < cfg.Rounds(p) {
-					maxRound = oc.JoinRound
-				}
-			}
-			v, u := ruling.Validate(pos, part, inset, r)
-			viol += v
-			undom += u
-			rounds = append(rounds, float64(maxRound+1))
+		for s := 0; s < seeds; s++ {
+			run := runs[ni*seeds+s]
+			viol += run.viol
+			undom += run.undom
+			rounds = append(rounds, run.rounds)
 		}
 		p := model.Default(1, n)
 		t.AddRow(stats.I(n), stats.F1(stats.Median(rounds)),
@@ -334,39 +411,57 @@ func E6CSA(o Options) (*stats.Table, error) {
 	if o.Quick {
 		sizes = []int{16, 48}
 	}
+	variants := []string{"large", "small"}
+	type e6Run struct {
+		ratio  float64
+		budget int
+	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(sizes)*len(variants)*seeds, func(i int) (e6Run, error) {
+		size := sizes[i/(len(variants)*seeds)]
+		variant := variants[i/seeds%len(variants)]
+		s := i % seeds
+		f := 8
+		p := model.Default(f, 256)
+		pos := Crowd(p, size, uint64(600*size+s))
+		e := sim.NewEngine(phy.NewField(p, pos), uint64(700*size+s))
+		est := 0
+		budget := 0
+		memberR := 2 * p.ClusterRadius()
+		progs := make([]sim.Program, size)
+		if variant == "large" {
+			cfg := csa.DefaultConfig(256, memberR)
+			budget = cfg.SlotBudget(p)
+			progs[0] = func(ctx *sim.Ctx) { est = csa.RunDominator(ctx, cfg, 0) + 1 }
+			for i := 1; i < size; i++ {
+				progs[i] = func(ctx *sim.Ctx) { csa.RunDominatee(ctx, cfg, 0) }
+			}
+		} else {
+			cfg := csa.DefaultSmallConfig(p, memberR)
+			budget = cfg.SlotBudget(p)
+			progs[0] = func(ctx *sim.Ctx) { est = csa.RunSmallDominator(ctx, cfg) }
+			for i := 1; i < size; i++ {
+				progs[i] = func(ctx *sim.Ctx) { csa.RunSmallDominatee(ctx, cfg, 0) }
+			}
+		}
+		if _, err := e.Run(progs); err != nil {
+			return e6Run{}, err
+		}
+		return e6Run{ratio: float64(est) / float64(size), budget: budget}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("E6: cluster-size approximation",
 		"cluster_size", "variant", "est/truth", "budget_slots")
-	for _, size := range sizes {
-		for _, variant := range []string{"large", "small"} {
+	for si, size := range sizes {
+		for vi, variant := range variants {
 			var ratios []float64
 			budget := 0
-			for s := 0; s < o.seeds(); s++ {
-				f := 8
-				p := model.Default(f, 256)
-				pos := Crowd(p, size, uint64(600*size+s))
-				e := sim.NewEngine(phy.NewField(p, pos), uint64(700*size+s))
-				est := 0
-				memberR := 2 * p.ClusterRadius()
-				progs := make([]sim.Program, size)
-				if variant == "large" {
-					cfg := csa.DefaultConfig(256, memberR)
-					budget = cfg.SlotBudget(p)
-					progs[0] = func(ctx *sim.Ctx) { est = csa.RunDominator(ctx, cfg, 0) + 1 }
-					for i := 1; i < size; i++ {
-						progs[i] = func(ctx *sim.Ctx) { csa.RunDominatee(ctx, cfg, 0) }
-					}
-				} else {
-					cfg := csa.DefaultSmallConfig(p, memberR)
-					budget = cfg.SlotBudget(p)
-					progs[0] = func(ctx *sim.Ctx) { est = csa.RunSmallDominator(ctx, cfg) }
-					for i := 1; i < size; i++ {
-						progs[i] = func(ctx *sim.Ctx) { csa.RunSmallDominatee(ctx, cfg, 0) }
-					}
-				}
-				if _, err := e.Run(progs); err != nil {
-					return nil, err
-				}
-				ratios = append(ratios, float64(est)/float64(size))
+			for s := 0; s < seeds; s++ {
+				run := runs[(si*len(variants)+vi)*seeds+s]
+				ratios = append(ratios, run.ratio)
+				budget = run.budget
 			}
 			t.AddRow(stats.I(size), variant, stats.F(stats.Median(ratios)), stats.I(budget))
 		}
@@ -382,14 +477,16 @@ func E7StructureBuild(o Options) (*stats.Table, error) {
 	if o.Quick {
 		ns = []int{48, 96}
 	}
-	t := stats.NewTable("E7: structure construction",
-		"n", "build_slots", "dominate", "color", "csa", "elect", "covered")
-	for _, n := range ns {
+	type e7Run struct {
+		offsets core.StageOffsets
+		covered string
+	}
+	runs, err := sweep(o, len(ns), func(i int) (e7Run, error) {
+		n := ns[i]
 		p := model.Default(8, n)
 		cfg := core.DefaultConfig(p)
 		cfg.DeltaHat = n
 		pl := core.NewPlan(p, cfg)
-		o1 := pl.Offsets
 		covered := "-"
 		// One live run for coverage (cheap at small n, skipped at large).
 		if n <= 128 {
@@ -397,7 +494,7 @@ func E7StructureBuild(o Options) (*stats.Table, error) {
 			e := sim.NewEngine(phy.NewField(p, pos), uint64(n)*3)
 			res, err := core.Run(e, pl, make([]int64, n), agg.Sum, 1)
 			if err != nil {
-				return nil, err
+				return e7Run{}, err
 			}
 			good := 0
 			for i, r := range res {
@@ -407,9 +504,18 @@ func E7StructureBuild(o Options) (*stats.Table, error) {
 			}
 			covered = pct(good, n)
 		}
+		return e7Run{offsets: pl.Offsets, covered: covered}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("E7: structure construction",
+		"n", "build_slots", "dominate", "color", "csa", "elect", "covered")
+	for ni, n := range ns {
+		o1 := runs[ni].offsets
 		t.AddRow(stats.I(n), stats.I(o1.Followers),
 			stats.I(o1.Color-o1.Dominate), stats.I(o1.Announce-o1.Color),
-			stats.I(o1.Elect-o1.CSA), stats.I(o1.Followers-o1.Elect), covered)
+			stats.I(o1.Elect-o1.CSA), stats.I(o1.Followers-o1.Elect), runs[ni].covered)
 	}
 	t.AddNote("build_slots = stages 1-5 budget; expect polylog growth in n")
 	return t, nil
@@ -427,16 +533,29 @@ func E8ExponentialChain(o Options) (*stats.Table, error) {
 	if o.Quick {
 		n, slots = 16, 120
 	}
-	t := stats.NewTable("E8: exponential chain serialization (sink-directed links)",
-		"topology", "slots", "max_parallel_links", "mean_links")
 	type linkMsg struct{ To int }
-	run := func(name string, pos []geo.Point, span float64) error {
+	type e8Case struct {
+		name string
+		pos  []geo.Point
+		span float64
+	}
+	cases := []e8Case{
+		{"exponential chain x_i=2^i", topology.ExponentialChain(n, 1), math.Pow(2, float64(n+1))},
+		// Control: a uniform line under the default range-1 power, where
+		// spatial reuse allows many parallel successes.
+		{"uniform line (control)", topology.Line(n, 0.5), 1},
+	}
+	type e8Run struct {
+		maxPar, total int
+	}
+	runs, err := sweep(o, len(cases), func(i int) (e8Run, error) {
+		c := cases[i]
 		p := model.Default(1, n)
 		// β = 1.5 ≥ 2^{1/3} ≈ 1.26: the lemma's condition holds. The
 		// uniform power is raised so R_T covers the whole instance (the
 		// paper's chain assumes every pair is in range absent interference).
-		p.Power = p.Beta * p.Noise * math.Pow(span, p.Alpha)
-		e := sim.NewEngine(phy.NewField(p, pos), 9)
+		p.Power = p.Beta * p.Noise * math.Pow(c.span, p.Alpha)
+		e := sim.NewEngine(phy.NewField(p, c.pos), 9)
 		maxPar, total := 0, 0
 		e.Trace = func(_ int, _ []phy.Tx, rxs []phy.Rx, recs []phy.Reception) {
 			// Count links whose ADDRESSED receiver decoded the sender.
@@ -465,20 +584,18 @@ func E8ExponentialChain(o Options) (*stats.Table, error) {
 			}
 		}
 		if _, err := e.Run(progs); err != nil {
-			return err
+			return e8Run{}, err
 		}
-		t.AddRow(name, stats.I(slots), stats.I(maxPar),
-			stats.F(float64(total)/float64(slots)))
-		return nil
-	}
-	if err := run("exponential chain x_i=2^i", topology.ExponentialChain(n, 1),
-		math.Pow(2, float64(n+1))); err != nil {
+		return e8Run{maxPar: maxPar, total: total}, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	// Control: a uniform line under the default range-1 power, where
-	// spatial reuse allows many parallel successes.
-	if err := run("uniform line (control)", topology.Line(n, 0.5), 1); err != nil {
-		return nil, err
+	t := stats.NewTable("E8: exponential chain serialization (sink-directed links)",
+		"topology", "slots", "max_parallel_links", "mean_links")
+	for i, c := range cases {
+		t.AddRow(c.name, stats.I(slots), stats.I(runs[i].maxPar),
+			stats.F(float64(runs[i].total)/float64(slots)))
 	}
 	t.AddNote("sink-directed links on the chain serialize to ≤ 1 per slot ([25]): aggregating n values needs Ω(n) = Ω(Δ) slots at F=1, the term that F channels divide")
 	return t, nil
@@ -491,65 +608,84 @@ func E9Backbone(o Options) (*stats.Table, error) {
 	if o.Quick {
 		ns = []int{48, 96}
 	}
+	type e9Run struct {
+		doms, dens, selfs, uncov, colors, confl float64
+	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(ns)*seeds, func(i int) (e9Run, error) {
+		n, s := ns[i/seeds], i%seeds
+		p := model.Default(4, n)
+		rnd := newRand(uint64(900*n + s))
+		pos := topology.UniformDegree(rnd, n, p.REps(), 12)
+		rc := p.ClusterRadius()
+		dcfg := dominate.DefaultConfig(rc, 0)
+		e := sim.NewEngine(phy.NewField(p, pos), uint64(s+41))
+		dout := make([]dominate.Outcome, n)
+		progs := make([]sim.Program, n)
+		for i := range progs {
+			i := i
+			progs[i] = func(ctx *sim.Ctx) { dout[i] = dominate.Run(ctx, dcfg) }
+		}
+		if _, err := e.Run(progs); err != nil {
+			return e9Run{}, err
+		}
+		st := dominate.Analyze(pos, dout, rc)
+
+		// Color the dominators.
+		ccfg := backbone.DefaultColorConfig(p, 32)
+		e2 := sim.NewEngine(phy.NewField(p, pos), uint64(s+61))
+		cout := make([]backbone.ColorOutcome, n)
+		progs2 := make([]sim.Program, n)
+		for i := range progs2 {
+			i := i
+			if dout[i].IsDominator {
+				progs2[i] = func(ctx *sim.Ctx) { cout[i] = backbone.RunColor(ctx, ccfg) }
+			} else {
+				progs2[i] = func(ctx *sim.Ctx) { backbone.IdleColor(ctx, ccfg) }
+			}
+		}
+		if _, err := e2.Run(progs2); err != nil {
+			return e9Run{}, err
+		}
+		maxColor, conflicts := 0, 0
+		for i := range pos {
+			if !dout[i].IsDominator {
+				continue
+			}
+			if cout[i].Color+1 > maxColor {
+				maxColor = cout[i].Color + 1
+			}
+			for j := i + 1; j < n; j++ {
+				if dout[j].IsDominator && cout[i].Color == cout[j].Color &&
+					pos[i].Dist(pos[j]) <= ccfg.Radius {
+					conflicts++
+				}
+			}
+		}
+		return e9Run{
+			doms:   float64(st.Dominators),
+			dens:   float64(st.MaxDensity),
+			selfs:  float64(st.SelfAppointed),
+			uncov:  float64(st.Uncovered),
+			colors: float64(maxColor),
+			confl:  float64(conflicts),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("E9: backbone quality (sparse fields, target degree 12)",
 		"n", "dominators", "density", "self_appointed", "uncovered", "colors", "conflicts")
-	for _, n := range ns {
+	for ni, n := range ns {
 		var doms, dens, selfs, uncov, colors, confl []float64
-		for s := 0; s < o.seeds(); s++ {
-			p := model.Default(4, n)
-			rnd := newRand(uint64(900*n + s))
-			pos := topology.UniformDegree(rnd, n, p.REps(), 12)
-			rc := p.ClusterRadius()
-			dcfg := dominate.DefaultConfig(rc, 0)
-			e := sim.NewEngine(phy.NewField(p, pos), uint64(s+41))
-			dout := make([]dominate.Outcome, n)
-			progs := make([]sim.Program, n)
-			for i := range progs {
-				i := i
-				progs[i] = func(ctx *sim.Ctx) { dout[i] = dominate.Run(ctx, dcfg) }
-			}
-			if _, err := e.Run(progs); err != nil {
-				return nil, err
-			}
-			st := dominate.Analyze(pos, dout, rc)
-			doms = append(doms, float64(st.Dominators))
-			dens = append(dens, float64(st.MaxDensity))
-			selfs = append(selfs, float64(st.SelfAppointed))
-			uncov = append(uncov, float64(st.Uncovered))
-
-			// Color the dominators.
-			ccfg := backbone.DefaultColorConfig(p, 32)
-			e2 := sim.NewEngine(phy.NewField(p, pos), uint64(s+61))
-			cout := make([]backbone.ColorOutcome, n)
-			progs2 := make([]sim.Program, n)
-			for i := range progs2 {
-				i := i
-				if dout[i].IsDominator {
-					progs2[i] = func(ctx *sim.Ctx) { cout[i] = backbone.RunColor(ctx, ccfg) }
-				} else {
-					progs2[i] = func(ctx *sim.Ctx) { backbone.IdleColor(ctx, ccfg) }
-				}
-			}
-			if _, err := e2.Run(progs2); err != nil {
-				return nil, err
-			}
-			maxColor, conflicts := 0, 0
-			for i := range pos {
-				if !dout[i].IsDominator {
-					continue
-				}
-				if cout[i].Color+1 > maxColor {
-					maxColor = cout[i].Color + 1
-				}
-				for j := i + 1; j < n; j++ {
-					if dout[j].IsDominator && cout[i].Color == cout[j].Color &&
-						pos[i].Dist(pos[j]) <= ccfg.Radius {
-						conflicts++
-					}
-				}
-			}
-			colors = append(colors, float64(maxColor))
-			confl = append(confl, float64(conflicts))
+		for s := 0; s < seeds; s++ {
+			r := runs[ni*seeds+s]
+			doms = append(doms, r.doms)
+			dens = append(dens, r.dens)
+			selfs = append(selfs, r.selfs)
+			uncov = append(uncov, r.uncov)
+			colors = append(colors, r.colors)
+			confl = append(confl, r.confl)
 		}
 		t.AddRow(stats.I(n), stats.F1(stats.Median(doms)), stats.F1(stats.Median(dens)),
 			stats.F1(stats.Median(selfs)), stats.F1(stats.Median(uncov)),
@@ -566,35 +702,59 @@ func E10DiameterTerm(o Options) (*stats.Table, error) {
 	if o.Quick {
 		lengths = []int{3, 5}
 	}
+	type e10Run struct {
+		skipped              bool // disconnected layout: excluded from medians
+		delay, agg           float64
+		informed, total, dia int
+	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(lengths)*seeds, func(i int) (e10Run, error) {
+		L, s := lengths[i/seeds], i%seeds
+		n := 8 * L
+		p := model.Default(4, n)
+		rnd := newRand(uint64(1100*L + s))
+		pos := topology.Corridor(rnd, n, float64(L)*p.REps(), 0.6*p.REps())
+		g := graph.Build(pos, p.REps())
+		if !g.Connected() {
+			return e10Run{skipped: true}, nil
+		}
+		values, _ := sequentialValues(n)
+		cfg := core.DefaultConfig(p)
+		cfg.DeltaHat = 24
+		cfg.PhiMax = 24
+		cfg.HopBound = 3*L + 6
+		m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(1200*L+s))
+		if err != nil {
+			return e10Run{}, err
+		}
+		return e10Run{
+			delay:    float64(m.CastDelay),
+			agg:      float64(m.AggSlots),
+			informed: m.Informed,
+			total:    m.N,
+			dia:      m.Diam,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("E10: diameter term (corridors, F=4)",
 		"length", "n", "diam", "cast_delay", "agg_slots", "informed")
-	for _, L := range lengths {
+	for li, L := range lengths {
 		n := 8 * L
 		var delays, aggs []float64
 		informed, total, diam := 0, 0, 0
-		for s := 0; s < o.seeds(); s++ {
-			p := model.Default(4, n)
-			rnd := newRand(uint64(1100*L + s))
-			pos := topology.Corridor(rnd, n, float64(L)*p.REps(), 0.6*p.REps())
-			g := graph.Build(pos, p.REps())
-			if !g.Connected() {
+		for s := 0; s < seeds; s++ {
+			r := runs[li*seeds+s]
+			if r.skipped {
 				continue
 			}
-			values, _ := sequentialValues(n)
-			cfg := core.DefaultConfig(p)
-			cfg.DeltaHat = 24
-			cfg.PhiMax = 24
-			cfg.HopBound = 3*L + 6
-			m, err := RunAgg(pos, p, cfg, values, agg.Sum, uint64(1200*L+s))
-			if err != nil {
-				return nil, err
-			}
-			delays = append(delays, float64(m.CastDelay))
-			aggs = append(aggs, float64(m.AggSlots))
-			informed += m.Informed
-			total += m.N
-			if m.Diam > diam {
-				diam = m.Diam
+			delays = append(delays, r.delay)
+			aggs = append(aggs, r.agg)
+			informed += r.informed
+			total += r.total
+			if r.dia > diam {
+				diam = r.dia
 			}
 		}
 		t.AddRow(stats.I(L), stats.I(n), stats.I(diam),

@@ -42,32 +42,46 @@ func F1LossSweep(o Options) (*stats.Table, error) {
 	if o.Quick {
 		losses = []float64{0, 0.1}
 	}
+	type f1Run struct {
+		ack, agg                            float64
+		informed, exact, acked, lost, total int
+	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(losses)*seeds, func(i int) (f1Run, error) {
+		lp, s := losses[i/seeds], i%seeds
+		p := model.Default(f, n)
+		pos := Crowd(p, n, uint64(s+71))
+		values, _ := sequentialValues(n)
+		cfg := core.DefaultConfig(p)
+		cfg.DeltaHat = n
+		cfg.PhiMax = 4
+		cfg.HopBound = 2
+		m, rep, err := RunAggFaults(pos, p, cfg, values, agg.Sum,
+			uint64(2000+s), fault.Spec{LossProb: lp})
+		if err != nil {
+			return f1Run{}, err
+		}
+		return f1Run{float64(m.AckSlots), float64(m.AggSlots),
+			m.Informed, m.Exact, m.FollowersAcked, rep.Lost, m.N}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("F1: aggregation vs message loss (crowd n=%d, F=%d)", n, f),
 		"loss", "informed", "exact", "acked", "lost", "ack_slots", "agg_slots")
-	for _, lp := range losses {
+	for li, lp := range losses {
 		var acks, aggs []float64
 		informed, exact, acked, lost, total := 0, 0, 0, 0, 0
-		for s := 0; s < o.seeds(); s++ {
-			p := model.Default(f, n)
-			pos := Crowd(p, n, uint64(s+71))
-			values, _ := sequentialValues(n)
-			cfg := core.DefaultConfig(p)
-			cfg.DeltaHat = n
-			cfg.PhiMax = 4
-			cfg.HopBound = 2
-			m, rep, err := RunAggFaults(pos, p, cfg, values, agg.Sum,
-				uint64(2000+s), fault.Spec{LossProb: lp})
-			if err != nil {
-				return nil, err
-			}
-			informed += m.Informed
-			exact += m.Exact
-			acked += m.FollowersAcked
-			lost += rep.Lost
-			total += m.N
-			acks = append(acks, float64(m.AckSlots))
-			aggs = append(aggs, float64(m.AggSlots))
+		for s := 0; s < seeds; s++ {
+			r := runs[li*seeds+s]
+			informed += r.informed
+			exact += r.exact
+			acked += r.acked
+			lost += r.lost
+			total += r.total
+			acks = append(acks, r.ack)
+			aggs = append(aggs, r.agg)
 		}
 		t.AddRow(stats.F(lp), pct(informed, total), pct(exact, total),
 			stats.I(acked/o.seeds()), stats.I(lost/o.seeds()),
@@ -88,42 +102,63 @@ func F2JamSweep(o Options) (*stats.Table, error) {
 		ks = []int{0, 2}
 		models = []fault.JamModel{fault.JamRoundRobin}
 	}
-	t := stats.NewTable(
-		fmt.Sprintf("F2: aggregation vs jamming (crowd n=%d, F=%d)", n, f),
-		"jammed", "adversary", "informed", "exact", "ack_slots", "agg_slots")
+	type f2Point struct {
+		k  int
+		jm fault.JamModel
+	}
+	var points []f2Point
 	for _, k := range ks {
 		for _, jm := range models {
 			if k == 0 && jm != models[0] {
 				continue // k=0 rows are identical across adversaries
 			}
-			var acks, aggs []float64
-			informed, exact, total := 0, 0, 0
-			for s := 0; s < o.seeds(); s++ {
-				p := model.Default(f, n)
-				pos := Crowd(p, n, uint64(s+81))
-				values, _ := sequentialValues(n)
-				cfg := core.DefaultConfig(p)
-				cfg.DeltaHat = n
-				cfg.PhiMax = 4
-				cfg.HopBound = 2
-				m, _, err := RunAggFaults(pos, p, cfg, values, agg.Sum,
-					uint64(3000+s), fault.Spec{JamChannels: k, JamModel: jm})
-				if err != nil {
-					return nil, err
-				}
-				informed += m.Informed
-				exact += m.Exact
-				total += m.N
-				acks = append(acks, float64(m.AckSlots))
-				aggs = append(aggs, float64(m.AggSlots))
-			}
-			name := jm.String()
-			if k == 0 {
-				name = "-"
-			}
-			t.AddRow(stats.I(k), name, pct(informed, total), pct(exact, total),
-				stats.F1(stats.Median(acks)), stats.F1(stats.Median(aggs)))
+			points = append(points, f2Point{k, jm})
 		}
+	}
+	type f2Run struct {
+		ack, agg               float64
+		informed, exact, total int
+	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(points)*seeds, func(i int) (f2Run, error) {
+		pt, s := points[i/seeds], i%seeds
+		p := model.Default(f, n)
+		pos := Crowd(p, n, uint64(s+81))
+		values, _ := sequentialValues(n)
+		cfg := core.DefaultConfig(p)
+		cfg.DeltaHat = n
+		cfg.PhiMax = 4
+		cfg.HopBound = 2
+		m, _, err := RunAggFaults(pos, p, cfg, values, agg.Sum,
+			uint64(3000+s), fault.Spec{JamChannels: pt.k, JamModel: pt.jm})
+		if err != nil {
+			return f2Run{}, err
+		}
+		return f2Run{float64(m.AckSlots), float64(m.AggSlots), m.Informed, m.Exact, m.N}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("F2: aggregation vs jamming (crowd n=%d, F=%d)", n, f),
+		"jammed", "adversary", "informed", "exact", "ack_slots", "agg_slots")
+	for pi, pt := range points {
+		var acks, aggs []float64
+		informed, exact, total := 0, 0, 0
+		for s := 0; s < seeds; s++ {
+			r := runs[pi*seeds+s]
+			informed += r.informed
+			exact += r.exact
+			total += r.total
+			acks = append(acks, r.ack)
+			aggs = append(aggs, r.agg)
+		}
+		name := pt.jm.String()
+		if pt.k == 0 {
+			name = "-"
+		}
+		t.AddRow(stats.I(pt.k), name, pct(informed, total), pct(exact, total),
+			stats.F1(stats.Median(acks)), stats.F1(stats.Median(aggs)))
 	}
 	t.AddNote("seeds=%d; adversary jams k of F=%d channels per slot; channel diversity should absorb small k", o.seeds(), f)
 	return t, nil
@@ -137,34 +172,57 @@ func F3ChurnSweep(o Options) (*stats.Table, error) {
 	if o.Quick {
 		rates = []float64{0, 0.1}
 	}
+	type f3Run struct {
+		agg                                           float64
+		crashed, informed, total                      int
+		survivors, survInformed, survAgree, survExact int
+	}
+	seeds := o.seeds()
+	runs, err := sweep(o, len(rates)*seeds, func(i int) (f3Run, error) {
+		cr, s := rates[i/seeds], i%seeds
+		p := model.Default(f, n)
+		pos := Crowd(p, n, uint64(s+91))
+		values, _ := sequentialValues(n)
+		cfg := core.DefaultConfig(p)
+		cfg.DeltaHat = n
+		cfg.PhiMax = 4
+		cfg.HopBound = 2
+		m, rep, err := RunAggFaults(pos, p, cfg, values, agg.Sum,
+			uint64(4000+s), fault.Spec{CrashRate: cr})
+		if err != nil {
+			return f3Run{}, err
+		}
+		return f3Run{
+			agg:          float64(m.AggSlots),
+			crashed:      len(rep.CrashedNodes),
+			informed:     m.Informed,
+			total:        m.N,
+			survivors:    m.Survivors,
+			survInformed: m.SurvivorsInformed,
+			survAgree:    m.SurvivorsAgreeing,
+			survExact:    m.SurvivorsExact,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("F3: aggregation vs churn (crowd n=%d, F=%d)", n, f),
 		"crash_rate", "crashed", "informed", "surv_informed", "surv_agree", "surv_exact", "agg_slots")
-	for _, cr := range rates {
+	for ri, cr := range rates {
 		var aggs []float64
 		crashed, informed, total := 0, 0, 0
 		survInformed, survAgree, survExact, survivors := 0, 0, 0, 0
-		for s := 0; s < o.seeds(); s++ {
-			p := model.Default(f, n)
-			pos := Crowd(p, n, uint64(s+91))
-			values, _ := sequentialValues(n)
-			cfg := core.DefaultConfig(p)
-			cfg.DeltaHat = n
-			cfg.PhiMax = 4
-			cfg.HopBound = 2
-			m, rep, err := RunAggFaults(pos, p, cfg, values, agg.Sum,
-				uint64(4000+s), fault.Spec{CrashRate: cr})
-			if err != nil {
-				return nil, err
-			}
-			crashed += len(rep.CrashedNodes)
-			informed += m.Informed
-			total += m.N
-			survivors += m.Survivors
-			survInformed += m.SurvivorsInformed
-			survAgree += m.SurvivorsAgreeing
-			survExact += m.SurvivorsExact
-			aggs = append(aggs, float64(m.AggSlots))
+		for s := 0; s < seeds; s++ {
+			r := runs[ri*seeds+s]
+			crashed += r.crashed
+			informed += r.informed
+			total += r.total
+			survivors += r.survivors
+			survInformed += r.survInformed
+			survAgree += r.survAgree
+			survExact += r.survExact
+			aggs = append(aggs, r.agg)
 		}
 		t.AddRow(stats.F(cr), stats.I(crashed/o.seeds()), pct(informed, total),
 			pct(survInformed, survivors), pct(survAgree, survivors), pct(survExact, survivors),

@@ -1,0 +1,19 @@
+package expt
+
+import (
+	"context"
+
+	"mcnet/internal/batch"
+)
+
+// sweep runs fn for every index of a flattened sweep grid (axes × seeds)
+// across the experiment's worker pool and returns the results by index.
+// Each runner folds the results in its original nested-loop order, so the
+// emitted table is byte-identical to the serial sweep at every Parallel
+// setting — the pool trades wall-clock time only.
+func sweep[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	pool := batch.Pool{Workers: o.Parallel}
+	return batch.Map(context.Background(), pool, n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}

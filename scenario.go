@@ -12,7 +12,8 @@ import (
 // configuration run across a grid of loss probabilities, jammed-channel
 // counts and churn rates, with a fixed number of seeded repetitions per grid
 // point. RunScenario executes the full cross product and reports medians —
-// for a fixed BaseSeed the emitted table is stable across runs.
+// for a fixed BaseSeed the emitted table is stable across runs and across
+// worker counts.
 type Scenario struct {
 	// Name titles the report (default "scenario").
 	Name string
@@ -25,7 +26,9 @@ type Scenario struct {
 	Options []Option
 	// Loss, Jam and Churn are the sweep axes: loss probabilities,
 	// jammed-channel counts, and rate-based churn probabilities. An empty
-	// axis sweeps the single value 0.
+	// axis sweeps the single value 0. RunScenario validates the axes up
+	// front: losses and churn rates must lie in [0, 1] and jam counts must
+	// leave at least one of the deployment's channels usable.
 	Loss  []float64
 	Jam   []int
 	Churn []float64
@@ -37,6 +40,14 @@ type Scenario struct {
 	BaseSeed uint64
 	// Op is the aggregate to compute (default Sum).
 	Op Aggregator
+	// Workers sizes the run pool: 0 (the default) uses GOMAXPROCS, 1
+	// forces the serial sweep. The emitted table is byte-identical at
+	// every setting.
+	Workers int
+	// Progress, when non-nil, is called after each completed run with the
+	// number of finished runs and the total (grid points × seeds). Calls
+	// are serialized but arrive on worker goroutines; keep it fast.
+	Progress func(done, total int)
 }
 
 // axes returns the sweep axes with empty ones widened to {0}.
@@ -54,12 +65,47 @@ func (sc Scenario) axes() (loss []float64, jam []int, churn []float64) {
 	return loss, jam, churn
 }
 
+// validateAxes rejects out-of-range sweep values before any run starts:
+// loss and churn are probabilities, and a jam count that covers every
+// channel would leave the adversary nothing to spare. channels is the
+// deployment's channel count after applying the base options.
+func validateAxes(loss []float64, jam []int, churn []float64, channels int) error {
+	for _, lp := range loss {
+		if lp < 0 || lp > 1 || lp != lp {
+			return fmt.Errorf("mcnet: scenario loss probability %v must be in [0, 1]", lp)
+		}
+	}
+	for _, k := range jam {
+		if k < 0 {
+			return fmt.Errorf("mcnet: scenario jam count %d must be ≥ 0", k)
+		}
+		if k > 0 && k >= channels {
+			return fmt.Errorf("mcnet: scenario jam count %d covers every one of %d channels; leave at least one usable", k, channels)
+		}
+	}
+	for _, cr := range churn {
+		if cr < 0 || cr > 1 || cr != cr {
+			return fmt.Errorf("mcnet: scenario churn rate %v must be in [0, 1]", cr)
+		}
+	}
+	return nil
+}
+
+// validJamModel reports whether m names a known jamming adversary, so the
+// sweep rejects it up front rather than after the first deployment build.
+func validJamModel(m JamModel) bool {
+	fm := fault.JamModel(m)
+	return fm == fault.JamOblivious || fm == fault.JamRoundRobin
+}
+
 // RunScenario executes the scenario's full fault grid and returns the
 // report: one row per (loss, jam, churn) point with median latencies and
 // informed / exact / surviving-exact rates across seeds. The sweep is a
-// deterministic function of the scenario, so two consecutive runs emit
-// identical tables. The run aborts promptly with ctx.Err() if ctx is
-// cancelled between points.
+// deterministic function of the scenario — two consecutive runs emit
+// identical tables, at any Workers setting — and runs execute across a
+// worker pool, sharing one deployment construction per seed across all
+// grid points. The sweep aborts promptly with ctx.Err() if ctx is
+// cancelled, including between the seed repetitions of a single point.
 func RunScenario(ctx context.Context, sc Scenario) (*Table, error) {
 	if sc.N < 2 {
 		return nil, fmt.Errorf("mcnet: scenario n = %d must be ≥ 2", sc.N)
@@ -82,43 +128,64 @@ func RunScenario(ctx context.Context, sc Scenario) (*Table, error) {
 	}
 	loss, jam, churn := sc.axes()
 
-	t := stats.NewTable(
-		fmt.Sprintf("%s: fault sweep (n=%d, %d seeds/point)", name, sc.N, seeds),
-		"loss", "jam", "churn", "informed", "exact", "surv_agree", "lost", "crashed", "ack_slots", "agg_slots")
+	// Resolve the deployment's channel count from the base options so the
+	// jam axis can be checked against it before anything runs.
+	s := defaultSettings()
+	for _, opt := range sc.Options {
+		if err := opt(&s); err != nil {
+			return nil, err
+		}
+	}
+	if err := validateAxes(loss, jam, churn, s.channels); err != nil {
+		return nil, err
+	}
+	if !validJamModel(sc.JamModel) {
+		return nil, fmt.Errorf("mcnet: scenario jam model %d is unknown (valid: JamOblivious, JamRoundRobin)", int(sc.JamModel))
+	}
+
+	specs := make([]RunSpec, 0, len(loss)*len(jam)*len(churn)*seeds)
 	for _, lp := range loss {
 		for _, k := range jam {
 			for _, cr := range churn {
-				if err := ctx.Err(); err != nil {
-					return nil, err
+				for rep := 0; rep < seeds; rep++ {
+					specs = append(specs, RunSpec{
+						Seed:     baseSeed + uint64(rep),
+						Loss:     lp,
+						Jam:      k,
+						JamModel: sc.JamModel,
+						Churn:    ChurnSpec{Rate: cr},
+						Faulted:  true,
+						Op:       op,
+					})
 				}
+			}
+		}
+	}
+	results, err := RunBatch(ctx, sc.N, sc.Options, specs, BatchOptions{
+		Workers:  sc.Workers,
+		Progress: sc.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("%s: fault sweep (n=%d, %d seeds/point)", name, sc.N, seeds),
+		"loss", "jam", "churn", "informed", "exact", "surv_agree", "lost", "crashed", "ack_slots", "agg_slots")
+	idx := 0
+	for _, lp := range loss {
+		for _, k := range jam {
+			for _, cr := range churn {
 				var acks, aggs []float64
 				informed, exact, total := 0, 0, 0
 				survAgree, survivors := 0, 0
 				lost, crashed := 0, 0
-				for s := 0; s < seeds; s++ {
-					opts := append([]Option{}, sc.Options...)
-					opts = append(opts,
-						Seed(baseSeed+uint64(s)),
-						Loss(lp),
-						Jamming(k, sc.JamModel),
-						Churn(ChurnSpec{Rate: cr}),
-					)
-					nw, err := New(sc.N, opts...)
-					if err != nil {
-						return nil, err
-					}
-					n := nw.N()
-					values := make([]int64, n)
-					for i := range values {
-						values[i] = int64(i + 1)
-					}
-					res, err := nw.Aggregate(ctx, values, op)
-					if err != nil {
-						return nil, err
-					}
+				for rep := 0; rep < seeds; rep++ {
+					res := results[idx]
+					idx++
 					informed += res.Informed
 					exact += res.Exact
-					total += n
+					total += len(res.Nodes)
 					acks = append(acks, float64(res.AckSlots))
 					aggs = append(aggs, float64(res.AggSlots))
 					if fr := res.Faults; fr != nil {
