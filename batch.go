@@ -161,7 +161,9 @@ func (nw *Network) withFaults(spec fault.Spec) (*Network, error) {
 		plan:        nw.plan,
 		maxSlots:    nw.maxSlots,
 		parallelism: nw.parallelism,
+		exact:       nw.exact,
 		farFieldTol: nw.farFieldTol,
+		cellFrac:    nw.cellFrac,
 		faults:      spec,
 		faulted:     true,
 	}, nil

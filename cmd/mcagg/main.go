@@ -7,6 +7,11 @@
 //	mcagg -exp all -seeds 5  # the full suite, 5 seeds per point
 //	mcagg -exp e3 -quick     # shrunken sweep for a fast look
 //	mcagg -exp e1 -csv       # machine-readable output
+//
+// Hot-path regressions can be profiled without editing code:
+//
+//	mcagg -exp e1 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"strings"
 
 	"mcnet"
+	"mcnet/cmd/internal/prof"
 )
 
 func main() { run(os.Args[1:], os.Stdout, os.Stderr, os.Exit) }
@@ -26,11 +32,13 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 	fs := flag.NewFlagSet("mcagg", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		exp      = fs.String("exp", "all", "experiment id: e1..e10, a1..a3 or all")
-		seeds    = fs.Int("seeds", 3, "repetitions per sweep point")
-		quick    = fs.Bool("quick", false, "shrink sweeps for a fast run")
-		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
-		parallel = fs.Int("parallel", 0, "worker-pool size for multi-seed sweeps (0 = GOMAXPROCS, 1 = serial)")
+		exp        = fs.String("exp", "all", "experiment id: e1..e10, a1..a3 or all")
+		seeds      = fs.Int("seeds", 3, "repetitions per sweep point")
+		quick      = fs.Bool("quick", false, "shrink sweeps for a fast run")
+		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel   = fs.Int("parallel", 0, "worker-pool size for multi-seed sweeps (0 = GOMAXPROCS, 1 = serial)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		exit(2)
@@ -46,13 +54,33 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		exit(2)
 		return
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(errOut, "mcagg:", err)
+		exit(2)
+		return
+	}
+	// exit may be os.Exit, which skips defers — fatal flushes the profiles
+	// before every early exit so a failed run still leaves usable output;
+	// the deferred call covers the success path (stopProf is idempotent).
+	fatal := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(errOut, "mcagg:", err)
+		}
+		exit(code)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(errOut, "mcagg:", err)
+		}
+	}()
 	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick, Parallel: *parallel}
 	var tables []*mcnet.Table
 	if strings.EqualFold(*exp, "all") {
 		ts, err := mcnet.AllExperiments(o)
 		if err != nil {
 			fmt.Fprintln(errOut, "mcagg:", err)
-			exit(1)
+			fatal(1)
 			return
 		}
 		tables = ts
@@ -62,10 +90,10 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 			if errors.Is(err, mcnet.ErrUnknownExperiment) {
 				fmt.Fprintf(errOut, "mcagg: unknown experiment %q (valid: %s; use -exp all for the suite)\n",
 					*exp, strings.Join(mcnet.ExperimentIDs(), ", "))
-				exit(2)
+				fatal(2)
 			} else {
 				fmt.Fprintln(errOut, "mcagg:", err)
-				exit(1)
+				fatal(1)
 			}
 			return
 		}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -70,5 +72,35 @@ func TestRunSeedsValidation(t *testing.T) {
 		if buf.Len() != 0 {
 			t.Errorf("-seeds %s: error leaked to stdout: %q", seeds, buf.String())
 		}
+	}
+}
+
+// TestRunProfiles: -cpuprofile/-memprofile write non-empty pprof files
+// around a run, and an unwritable path exits 2.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var buf, errBuf bytes.Buffer
+	exitCode := -1
+	run([]string{"-exp", "e8", "-quick", "-seeds", "1", "-cpuprofile", cpu, "-memprofile", mem},
+		&buf, &errBuf, func(c int) { exitCode = c })
+	if exitCode != -1 {
+		t.Fatalf("exit code %d: %s", exitCode, errBuf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+	exitCode = -1
+	run([]string{"-exp", "e8", "-quick", "-cpuprofile", filepath.Join(dir, "no", "cpu.out")},
+		&buf, &errBuf, func(c int) { exitCode = c })
+	if exitCode != 2 {
+		t.Errorf("unwritable profile path: exit %d, want 2", exitCode)
 	}
 }

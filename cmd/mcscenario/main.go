@@ -12,6 +12,11 @@
 //	mcscenario -churn 0,0.1,0.2 -seeds 3              # churn sweep, 3 seeds/point
 //	mcscenario -loss 0,0.1 -jam 0,1 -churn 0,0.1 -csv # full grid, CSV
 //	mcscenario -loss 0,0.1 -seeds 8 -parallel 4       # 4 workers, same table
+//
+// Hot-path regressions can be profiled without editing code:
+//
+//	mcscenario -loss 0,0.1 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"strings"
 
 	"mcnet"
+	"mcnet/cmd/internal/prof"
 )
 
 func main() { run(os.Args[1:], os.Stdout, os.Stderr, os.Exit) }
@@ -32,19 +38,21 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 	fs := flag.NewFlagSet("mcscenario", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		n        = fs.Int("n", 96, "node count (≥ 2)")
-		kind     = fs.String("topo", "crowd", "topology: uniform|crowd|grid|line|ring")
-		channels = fs.Int("channels", 4, "number of radio channels (≥ 1)")
-		seeds    = fs.Int("seeds", 1, "repetitions per grid point (≥ 1)")
-		seed     = fs.Uint64("seed", 1, "base seed; repetition s runs with seed+s")
-		loss     = fs.String("loss", "0", "comma-separated loss probabilities in [0, 1]")
-		jam      = fs.String("jam", "0", "comma-separated jammed-channel counts")
-		jamModel = fs.String("jam-model", "oblivious", "jamming adversary: oblivious|roundrobin")
-		churn    = fs.String("churn", "0", "comma-separated crash rates in [0, 1]")
-		name     = fs.String("name", "mcscenario", "report title")
-		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
-		parallel = fs.Int("parallel", 0, "worker-pool size for the sweep's runs (0 = GOMAXPROCS, 1 = serial)")
-		quiet    = fs.Bool("quiet", false, "suppress grid-point progress on stderr")
+		n          = fs.Int("n", 96, "node count (≥ 2)")
+		kind       = fs.String("topo", "crowd", "topology: uniform|crowd|grid|line|ring")
+		channels   = fs.Int("channels", 4, "number of radio channels (≥ 1)")
+		seeds      = fs.Int("seeds", 1, "repetitions per grid point (≥ 1)")
+		seed       = fs.Uint64("seed", 1, "base seed; repetition s runs with seed+s")
+		loss       = fs.String("loss", "0", "comma-separated loss probabilities in [0, 1]")
+		jam        = fs.String("jam", "0", "comma-separated jammed-channel counts")
+		jamModel   = fs.String("jam-model", "oblivious", "jamming adversary: oblivious|roundrobin")
+		churn      = fs.String("churn", "0", "comma-separated crash rates in [0, 1]")
+		name       = fs.String("name", "mcscenario", "report title")
+		csv        = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		parallel   = fs.Int("parallel", 0, "worker-pool size for the sweep's runs (0 = GOMAXPROCS, 1 = serial)")
+		quiet      = fs.Bool("quiet", false, "suppress grid-point progress on stderr")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		exit(2)
@@ -133,6 +141,17 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 			return
 		}
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(errOut, "mcscenario:", err)
+		exit(2)
+		return
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(errOut, "mcscenario:", err)
+		}
+	}()
 
 	// Progress: one line per grid point's worth of completed runs, so long
 	// sweeps show life on stderr without flooding it. Parallel workers
@@ -166,6 +185,12 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 	})
 	if err != nil {
 		fmt.Fprintln(errOut, "mcscenario:", err)
+		// exit may be os.Exit, which skips defers — flush the profiles so
+		// a failed sweep still leaves usable output (stopProf is
+		// idempotent, so the deferred call stays harmless).
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(errOut, "mcscenario:", err)
+		}
 		exit(1)
 		return
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -81,5 +83,38 @@ func TestScenarioFlagValidation(t *testing.T) {
 		if buf.Len() != 0 {
 			t.Errorf("%s: error leaked to stdout: %q", tc.name, buf.String())
 		}
+	}
+}
+
+// TestRunProfiles: -cpuprofile/-memprofile write non-empty pprof files
+// around a sweep, and an unwritable path exits 2.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var buf, errBuf bytes.Buffer
+	exitCode := -1
+	run([]string{"-n", "16", "-seeds", "1", "-quiet", "-cpuprofile", cpu, "-memprofile", mem},
+		&buf, &errBuf, func(c int) { exitCode = c })
+	if exitCode != -1 {
+		t.Fatalf("exit code %d: %s", exitCode, errBuf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+	exitCode = -1
+	run([]string{"-n", "16", "-quiet", "-memprofile", filepath.Join(dir, "no", "mem.out")},
+		&buf, &errBuf, func(c int) { exitCode = c })
+	if exitCode != -1 {
+		t.Errorf("late mem-profile failure should not exit mid-run; got %d", exitCode)
+	}
+	if !strings.Contains(errBuf.String(), "prof") {
+		t.Errorf("missing stderr diagnostic for failed heap profile: %q", errBuf.String())
 	}
 }

@@ -61,18 +61,33 @@
 //
 // # Performance options
 //
-// Slot resolution is the hot path and has two knobs. Parallelism sets the
-// worker count the SINR resolver fans listeners out across (default
-// GOMAXPROCS); every setting is bit-identical, it trades wall-clock time
-// only. FarFieldTolerance(ε) opts into approximate far-field aggregation:
-// transmitters are bucketed into a spatial grid and cells far from a
-// listener contribute their summed power from the cell centroid, with
-// relative error at most ε on the far-field interference term. The near
-// field always covers the transmission range, so decoding candidates are
-// evaluated exactly; runs remain deterministic for a fixed tolerance. The
-// default ε = 0 keeps resolution exact, and equal seeds replay identical
-// transcripts run over run. See README.md for the error-bound derivation
-// and when the approximation pays off.
+// Slot resolution is the hot path. By default it runs the hierarchical
+// cell-aggregated resolver: each slot's transmitters are binned once into
+// a spatial grid and laid out in struct-of-arrays form, every listener
+// scans nearby cells exactly, and each distant cell contributes one
+// centroid-aggregated term, with relative error at most ε (default 0.05)
+// on the far-field interference term. Decoding candidates are always
+// evaluated exactly — the near field covers the transmission range — so
+// decode outcomes can differ from exact resolution only when a SINR sits
+// within the far-field error of the threshold β, and runs remain
+// deterministic for a fixed configuration at every worker count. When a
+// deployment is compact enough that nothing can be aggregated under the
+// tolerance (the Crowd topology, for instance), the resolver degenerates
+// to the exact kernel and transcripts are bit-identical to Exact mode.
+//
+// The knobs: Exact() forces bit-exact pairwise resolution, whose
+// transcripts replay identically across releases; FarFieldTolerance(ε)
+// tunes the hierarchical error bound (0 also means exact — this knob's
+// historical contract); ResolverCellSize(frac) sizes grid cells as a
+// fraction of the transmission range; Parallelism sets the worker count
+// the resolver fans listeners out across (default GOMAXPROCS) — every
+// setting is bit-identical, it trades wall-clock time only. The slot
+// pipeline is allocation-free in steady state: the engine presizes a
+// per-run arena (action, reception and grid-bin scratch) and listeners
+// fan out over a persistent worker pool, so no per-slot allocations or
+// goroutine spawns occur. See README.md for the error-bound derivation
+// and measured speedups, and cmd/mcagg or cmd/mcscenario's -cpuprofile /
+// -memprofile flags for profiling runs without editing code.
 //
 // Everything under internal/ is implementation — the SINR physical layer,
 // the slot-synchronous simulator, and the per-stage protocols — and is not

@@ -148,7 +148,8 @@ func TestAggregateTranscriptInvariants(t *testing.T) {
 	}
 }
 
-// TestPerformanceOptionValidation covers the new options' argument checks.
+// TestPerformanceOptionValidation covers the performance options' argument
+// checks.
 func TestPerformanceOptionValidation(t *testing.T) {
 	if _, err := New(8, Parallelism(-1)); err == nil {
 		t.Error("Parallelism(-1) should fail")
@@ -156,15 +157,25 @@ func TestPerformanceOptionValidation(t *testing.T) {
 	if _, err := New(8, FarFieldTolerance(-0.5)); err == nil {
 		t.Error("FarFieldTolerance(-0.5) should fail")
 	}
-	if _, err := New(8, Parallelism(4), FarFieldTolerance(0.25)); err != nil {
+	if _, err := New(8, ResolverCellSize(0)); err == nil {
+		t.Error("ResolverCellSize(0) should fail")
+	}
+	if _, err := New(8, ResolverCellSize(-2)); err == nil {
+		t.Error("ResolverCellSize(-2) should fail")
+	}
+	if _, err := New(8, Parallelism(4), FarFieldTolerance(0.25), ResolverCellSize(0.3)); err != nil {
 		t.Errorf("valid performance options rejected: %v", err)
+	}
+	if _, err := New(8, Exact()); err != nil {
+		t.Errorf("Exact() rejected: %v", err)
 	}
 }
 
-// TestAggregateWithFarField: the approximate resolver runs the whole
-// pipeline and still computes the right aggregate on a dense crowd (where
-// everything is near-field, so the result matches exact mode entirely).
-func TestAggregateWithFarField(t *testing.T) {
+// TestAggregateResolverModes: every resolver configuration runs the whole
+// pipeline and computes the right aggregate on a dense crowd. The crowd
+// fits inside one grid cell, so the hierarchical resolver degenerates to
+// the exact kernel and all configurations are transcript-identical.
+func TestAggregateResolverModes(t *testing.T) {
 	const n = 48
 	values := make([]int64, n)
 	var want int64
@@ -184,14 +195,25 @@ func TestAggregateWithFarField(t *testing.T) {
 		}
 		return res
 	}
-	exact := run()
+	def := run()
+	exact := run(Exact())
+	legacyExact := run(FarFieldTolerance(0))
 	approx := run(FarFieldTolerance(0.1))
-	if approx.Value != want || exact.Value != want {
-		t.Fatalf("fold = %d/%d, want %d", approx.Value, exact.Value, want)
+	coarse := run(ResolverCellSize(1.5))
+	for name, res := range map[string]*AggregateResult{
+		"default": def, "exact": exact, "tol0": legacyExact, "tol0.1": approx, "coarse": coarse,
+	} {
+		if res.Value != want {
+			t.Fatalf("%s: fold = %d, want %d", name, res.Value, want)
+		}
 	}
-	// One cluster-radius crowd: every transmitter is near-field, so the
-	// approximate run is transcript-identical to the exact one.
-	if !reflect.DeepEqual(exact, approx) {
-		t.Error("far-field mode diverged on an all-near-field workload")
+	if !reflect.DeepEqual(def, exact) {
+		t.Error("hierarchical default diverged from exact mode on an all-near-field crowd")
+	}
+	if !reflect.DeepEqual(exact, legacyExact) {
+		t.Error("FarFieldTolerance(0) is not the same as Exact()")
+	}
+	if !reflect.DeepEqual(def, approx) {
+		t.Error("far-field tolerance diverged on an all-near-field workload")
 	}
 }

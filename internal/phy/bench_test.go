@@ -10,7 +10,9 @@ import (
 
 // benchSlot builds a slot with n nodes spread over span×span units, txFrac
 // of them transmitting across the given channels, and resolves it under the
-// configured field.
+// configured field. One untimed warm-up call grows all scratch and starts
+// the worker pool, so the timed loop measures the allocation-free steady
+// state even at -benchtime=1x (the CI tripwire's setting).
 func benchSlot(b *testing.B, n, channels int, span, txFrac float64, configure func(*Field)) {
 	b.Helper()
 	r := rand.New(rand.NewSource(1))
@@ -31,6 +33,8 @@ func benchSlot(b *testing.B, n, channels int, span, txFrac float64, configure fu
 			rxs = append(rxs, Rx{Node: i, Channel: r.Intn(channels)})
 		}
 	}
+	f.Resolve(txs, rxs) // warm up scratch and the worker pool
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Resolve(txs, rxs)
@@ -48,6 +52,47 @@ func BenchmarkResolve4kSerial(b *testing.B) {
 }
 func BenchmarkResolve4kParallel(b *testing.B) {
 	benchSlot(b, 4096, 8, 10, 0.3, func(f *Field) { f.SetParallelism(0) })
+}
+
+// BenchmarkResolveCrowdDense is the AggregateCrowd hot shape: one tight
+// cluster well inside a single grid cell, half the nodes transmitting on
+// one channel, every other node listening — the dense ACK slots that
+// dominate the 16k crowd pipeline. All pairs are near-field, so this
+// measures the struct-of-arrays scan kernel itself.
+func benchCrowdDense(b *testing.B, configure func(*Field)) {
+	b.Helper()
+	const n = 4096
+	r := rand.New(rand.NewSource(1))
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: r.Float64() * 0.15, Y: r.Float64() * 0.15}
+	}
+	f := NewField(model.Default(8, n), pos)
+	if configure != nil {
+		configure(f)
+	}
+	var txs []Tx
+	var rxs []Rx
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			txs = append(txs, Tx{Node: i, Channel: 0, Msg: i})
+		} else {
+			rxs = append(rxs, Rx{Node: i, Channel: 0})
+		}
+	}
+	f.Resolve(txs, rxs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Resolve(txs, rxs)
+	}
+}
+
+func BenchmarkResolveCrowdDenseSerial(b *testing.B) {
+	benchCrowdDense(b, func(f *Field) { f.SetParallelism(1) })
+}
+func BenchmarkResolveCrowdDenseParallel(b *testing.B) {
+	benchCrowdDense(b, func(f *Field) { f.SetParallelism(0) })
 }
 
 // benchClusteredSlot is the far-field target regime: crowds — many
@@ -78,15 +123,22 @@ func benchClusteredSlot(b *testing.B, clusters, per, channels int, span float64,
 			rxs = append(rxs, Rx{Node: i, Channel: r.Intn(channels)})
 		}
 	}
+	f.Resolve(txs, rxs)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Resolve(txs, rxs)
 	}
 }
 
-// Exact vs far-field aggregation on 32 crowds of 256 nodes across 200 R_T.
+// Exact vs the (default) hierarchical aggregation on 32 crowds of 256 nodes
+// across 200 R_T. The far-field bench keeps its historical name; it now
+// measures the default path at tolerance 0.1.
 func BenchmarkResolveHotspotsExact(b *testing.B) {
-	benchClusteredSlot(b, 32, 256, 8, 200, func(f *Field) { f.SetParallelism(1) })
+	benchClusteredSlot(b, 32, 256, 8, 200, func(f *Field) {
+		f.SetParallelism(1)
+		f.SetResolver(ResolverExact)
+	})
 }
 func BenchmarkResolveHotspotsFarField(b *testing.B) {
 	benchClusteredSlot(b, 32, 256, 8, 200, func(f *Field) {

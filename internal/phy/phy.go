@@ -14,27 +14,49 @@
 // Sec. 2), which upper layers use for carrier sense, clear-reception
 // detection (Definition 4) and distance estimation.
 //
+// # Resolver modes
+//
+// A Field resolves slots in one of two modes (SetResolver):
+//
+//   - ResolverHierarchical (the default under the Euclidean metric) bins the
+//     slot's transmitters into a uniform grid once — O(|txs|) — and gives
+//     each listener an exact pairwise sum over nearby cells plus one
+//     centroid-aggregated term per distant cell, with relative error at most
+//     the configured tolerance on the far-field interference term (see
+//     hier.go for the bound). Decoding candidates are always evaluated
+//     exactly: the near region extends at least to the transmission range
+//     R_T, beyond which no transmitter can satisfy the SINR threshold.
+//   - ResolverExact scans every same-channel transmitter per listener —
+//     O(|rxs|·|txs|) per slot — and is bit-identical to the historical
+//     resolver: transcripts recorded before the hierarchical mode existed
+//     replay exactly. Fields over a custom metric always resolve exactly.
+//
+// Both modes are deterministic: equal slots resolve to equal receptions at
+// every parallelism setting, run after run. Only exact mode is
+// transcript-compatible across the mode boundary.
+//
 // # Performance
 //
 // Resolve is the simulator's hot path: every slot of every protocol run
-// passes through it. Three mechanisms keep it fast without changing results:
+// passes through it. Beyond the hierarchical aggregation, three mechanisms
+// keep it fast without changing results:
 //
-//   - Listeners resolve independently, so Resolve fans them out across
-//     worker goroutines, by default as many as GOMAXPROCS
-//     (SetParallelism). Outcomes are bit-identical for every worker count.
-//   - Under the default Euclidean metric with an integral path-loss
-//     exponent, per-pair powers use an inlined distance and an integer
-//     power identity that reproduces math.Pow bit-for-bit (see ipow), so
-//     transcripts match the generic path exactly.
-//   - The returned Reception slice and all per-channel index buffers are
-//     per-Field scratch, reused across calls: serial resolution allocates
-//     nothing per slot (the parallel path spawns its short-lived workers).
+//   - The slot's transmitters are laid out once per Resolve in
+//     struct-of-arrays form (contiguous per-channel x/y position, node and
+//     index slices — see soa.go), so the per-listener scan streams through
+//     memory with no pointer chasing.
+//   - Listeners resolve independently, so Resolve fans them out across a
+//     package-level pool of persistent worker goroutines, by default as
+//     many as GOMAXPROCS (SetParallelism). Outcomes are bit-identical for
+//     every worker count, and no goroutines are spawned per slot.
+//   - All scratch — the SoA layout, grid bins, reception buffers — is
+//     per-Field state reused across calls: steady-state resolution
+//     allocates nothing per slot. Reserve presizes the scratch so even the
+//     first slots of a run stay allocation-free.
 //
-// Exact resolution is the default and scans every same-channel transmitter
-// per listener — O(|rxs|·|txs|) per slot. For large fields an approximate
-// mode (SetFarFieldTolerance) buckets transmitters into a spatial grid and
-// aggregates distant cells from their centroids with a bounded relative
-// error; see farfield.go for the bound and its derivation.
+// Under the default Euclidean metric with α = 3, per-pair powers use an
+// inlined distance and an integer power identity that reproduces math.Pow
+// bit-for-bit (see ipow), so transcripts match the generic path exactly.
 package phy
 
 import (
@@ -82,6 +104,30 @@ type Reception struct {
 // excluding ambient noise.
 func (r Reception) RSSI() float64 { return r.SignalPower + r.Interference }
 
+// Resolver selects how a Field computes per-listener interference sums.
+type Resolver int
+
+const (
+	// ResolverHierarchical is the default: grid-binned transmitters, exact
+	// near cells, centroid-aggregated far cells within the configured
+	// tolerance. Requires the Euclidean metric.
+	ResolverHierarchical Resolver = iota
+	// ResolverExact scans every same-channel transmitter per listener and
+	// is bit-identical to the pre-hierarchical resolver.
+	ResolverExact
+)
+
+// DefaultFarFieldTolerance is the hierarchical mode's default relative
+// error bound on the far-field interference term. Decode outcomes can
+// differ from exact mode only when a listener's SINR lies within this
+// factor of the threshold β.
+const DefaultFarFieldTolerance = 0.05
+
+// DefaultCellFraction sizes hierarchical grid cells as this fraction of the
+// transmission range R_T; geo.NewGrid coarsens further if the deployment's
+// extent would need too many cells.
+const DefaultCellFraction = 0.5
+
 // Field resolves slots for a fixed node placement under fixed parameters.
 //
 // A Field is not safe for concurrent use: Resolve reuses internal scratch
@@ -98,19 +144,28 @@ type Field struct {
 	// parallelism is the worker count for Resolve; 0 means GOMAXPROCS.
 	parallelism int
 
-	// farTol enables grid-accelerated far-field aggregation when positive;
-	// see SetFarFieldTolerance. The remaining fields live in farfield.go.
-	farTol float64
-	far    *farField
+	mode     Resolver
+	tol      float64 // hierarchical far-field tolerance (> 0)
+	cellFrac float64 // grid cell size as a fraction of R_T
 
-	// perChannel is reusable scratch space: transmitter indices by channel.
-	perChannel [][]int
+	// soa is the per-slot struct-of-arrays transmitter layout, rebuilt by
+	// every Resolve call; hier adds the per-cell segmentation on top.
+	soa  slotSoA
+	hier *hierState
+	// slotHier records whether the current slot resolves hierarchically
+	// (mode, metric and grid degeneration folded in), set once per Resolve
+	// before any fan-out and read-only during it.
+	slotHier bool
+
 	// out is the Reception slice returned by Resolve, reused across calls.
 	out []Reception
+	// wg synchronizes the worker-pool fan-out of one Resolve call.
+	wg sync.WaitGroup
 }
 
 // NewField creates a resolver for the given placement under the Euclidean
-// metric. The position slice is retained; callers must not mutate it during
+// metric, resolving hierarchically with the default tolerance and cell
+// size. The position slice is retained; callers must not mutate it during
 // use.
 func NewField(p model.Params, pos []geo.Point) *Field {
 	return NewFieldMetric(p, pos, nil)
@@ -120,23 +175,85 @@ func NewField(p model.Params, pos []geo.Point) *Field {
 // (footnote 1 of the paper: the results extend to metrics whose doubling
 // dimension is below α). Protocols are metric-agnostic — they only observe
 // received powers — so the whole stack runs unchanged. A nil metric selects
-// the Euclidean metric and enables its inlined fast path; passing
-// geo.Euclidean explicitly is equivalent but resolves through the generic
-// (slower) loop.
+// the Euclidean metric and enables its inlined fast path and the
+// hierarchical resolver; a non-nil metric (even geo.Euclidean explicitly)
+// resolves exactly through the generic (slower) loop.
 func NewFieldMetric(p model.Params, pos []geo.Point, m geo.Metric) *Field {
-	return &Field{
-		params:     p,
-		pos:        pos,
-		dist:       m,
-		jammed:     make([]bool, p.Channels),
-		power:      p.Power,
-		alphaInt:   integralAlpha(p.Alpha),
-		perChannel: make([][]int, p.Channels),
+	f := &Field{
+		params:   p,
+		pos:      pos,
+		dist:     m,
+		jammed:   make([]bool, p.Channels),
+		power:    p.Power,
+		alphaInt: integralAlpha(p.Alpha),
+		mode:     ResolverHierarchical,
+		tol:      DefaultFarFieldTolerance,
+		cellFrac: DefaultCellFraction,
+	}
+	if m != nil {
+		f.mode = ResolverExact
+	}
+	return f
+}
+
+// SetResolver selects the resolution mode. Selecting ResolverHierarchical
+// on a field built over a custom metric panics: the aggregation's error
+// bound holds only for the Euclidean metric.
+func (f *Field) SetResolver(mode Resolver) {
+	switch mode {
+	case ResolverExact:
+		f.mode = ResolverExact
+	case ResolverHierarchical:
+		if f.dist != nil {
+			panic("phy: hierarchical resolution requires the Euclidean metric")
+		}
+		f.mode = ResolverHierarchical
+	default:
+		panic("phy: unknown resolver mode")
 	}
 }
 
+// Mode returns the field's resolution mode.
+func (f *Field) Mode() Resolver { return f.mode }
+
+// SetFarFieldTolerance sets the hierarchical mode's relative error bound on
+// the far-field interference term and selects hierarchical resolution.
+// tol = 0 selects exact resolution instead (the historical contract of this
+// knob). Positive tolerances require the Euclidean metric; fields built
+// over a custom metric panic.
+func (f *Field) SetFarFieldTolerance(tol float64) {
+	if tol < 0 || math.IsNaN(tol) || math.IsInf(tol, 0) {
+		panic("phy: far-field tolerance must be finite and ≥ 0")
+	}
+	if tol == 0 {
+		f.mode = ResolverExact
+		return
+	}
+	if f.dist != nil {
+		panic("phy: far-field approximation requires the Euclidean metric")
+	}
+	f.mode = ResolverHierarchical
+	f.tol = tol
+	if f.hier != nil {
+		f.hier.setCutoff(f, tol)
+	}
+}
+
+// SetCellSize sizes the hierarchical grid's cells as frac·R_T (default
+// DefaultCellFraction). Smaller cells tighten the near region around each
+// listener at the cost of more cells; geo.NewGrid coarsens the result if
+// the deployment's extent would need too many cells. The error bound holds
+// for every setting — only performance changes.
+func (f *Field) SetCellSize(frac float64) {
+	if frac <= 0 || math.IsNaN(frac) || math.IsInf(frac, 0) {
+		panic("phy: cell size fraction must be positive and finite")
+	}
+	f.cellFrac = frac
+	f.hier = nil // grid geometry changed; rebuild lazily
+}
+
 // SetParallelism sets how many workers Resolve may fan listeners out
-// across: 0 (the default) sizes the pool by runtime.GOMAXPROCS, 1 forces
+// across: 0 (the default) sizes the fan-out by runtime.GOMAXPROCS, 1 forces
 // serial resolution. Outcomes are bit-identical for every setting — only
 // wall-clock time changes — because listeners are resolved independently.
 func (f *Field) SetParallelism(workers int) {
@@ -163,8 +280,38 @@ func (f *Field) Positions() []geo.Point { return f.pos }
 // N returns the number of nodes in the field.
 func (f *Field) N() int { return len(f.pos) }
 
-// minParallelWork bounds when Resolve spawns workers: below this many
-// listener×transmitter pairs the fan-out overhead outweighs the win.
+// Reserve presizes the field's reusable scratch — the reception buffer, the
+// struct-of-arrays layout and (in hierarchical mode) the grid bins — for
+// slots with up to maxTx transmitters and maxRx listeners, so a run's first
+// slots allocate nothing. The engine calls this once per run with the node
+// count; calling it is never required for correctness.
+func (f *Field) Reserve(maxTx, maxRx int) {
+	if cap(f.out) < maxRx {
+		f.out = make([]Reception, maxRx)
+	}
+	f.soa.reserve(f.params.Channels, maxTx)
+	if f.hierActive() {
+		if h := f.hierState(); !h.degenerate {
+			h.reserve(f.params.Channels, maxTx)
+		}
+	}
+}
+
+// hierActive reports whether slots resolve through the hierarchical path.
+func (f *Field) hierActive() bool { return f.mode == ResolverHierarchical && f.dist == nil }
+
+// hierState returns the hierarchical geometry, building it on first use
+// (and after SetCellSize invalidated it).
+func (f *Field) hierState() *hierState {
+	if f.hier == nil {
+		f.hier = newHierState(f)
+	}
+	return f.hier
+}
+
+// minParallelWork bounds when Resolve fans out to the worker pool: below
+// this many listener×transmitter pairs the hand-off overhead outweighs the
+// win.
 const minParallelWork = 1 << 13
 
 // workersFor picks the worker count for one Resolve call.
@@ -190,17 +337,20 @@ func (f *Field) workersFor(nRx, nTx int) int {
 // Channels are numbered 0..F-1; transmissions or listens on out-of-range
 // channels panic, as they indicate a protocol bug.
 func (f *Field) Resolve(txs []Tx, rxs []Rx) []Reception {
-	for c := range f.perChannel {
-		f.perChannel[c] = f.perChannel[c][:0]
-	}
-	for i, tx := range txs {
-		if tx.Channel < 0 || tx.Channel >= f.params.Channels {
-			panic("phy: transmission on invalid channel")
+	// Lay the slot out in struct-of-arrays form (and bin it into grid cells
+	// in hierarchical mode) before any fan-out, so invalid transmit
+	// channels panic on the caller's goroutine. A degenerate grid — the
+	// whole deployment inside the near region — skips binning and resolves
+	// through the exact kernel, bit-identically to exact mode.
+	f.soa.prepare(f, txs)
+	f.slotHier = false
+	if f.hierActive() {
+		if h := f.hierState(); !h.degenerate {
+			h.prepare(f, txs)
+			f.slotHier = true
 		}
-		f.perChannel[tx.Channel] = append(f.perChannel[tx.Channel], i)
 	}
-	// Validate listen channels up front so protocol bugs panic on the
-	// caller's goroutine, not inside a worker.
+	// Validate listen channels up front for the same reason.
 	for _, rx := range rxs {
 		if rx.Channel < 0 || rx.Channel >= f.params.Channels {
 			panic("phy: listen on invalid channel")
@@ -211,51 +361,61 @@ func (f *Field) Resolve(txs []Tx, rxs []Rx) []Reception {
 	}
 	out := f.out[:len(rxs)]
 
-	approx := f.farTol > 0
-	if approx {
-		f.far.bucket(f, txs)
-	}
-	resolveRange := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			rx := rxs[i]
-			if approx {
-				out[i] = f.resolveOneApprox(rx, txs)
-			} else {
-				out[i] = f.resolveOne(rx, txs, f.perChannel[rx.Channel])
-			}
-			if f.jammed[rx.Channel] && out[i].Decoded {
-				// A jammed channel delivers nothing; the signal is still
-				// sensed.
-				out[i].Interference += out[i].SignalPower
-				out[i].Decoded, out[i].From, out[i].Msg = false, -1, nil
-				out[i].SignalPower, out[i].SINR = 0, 0
-			}
-		}
-	}
 	if w := f.workersFor(len(rxs), len(txs)); w > 1 {
-		var wg sync.WaitGroup
+		poolOnce.Do(startPool)
 		chunk := (len(rxs) + w - 1) / w
-		for lo := 0; lo < len(rxs); lo += chunk {
+		for lo := chunk; lo < len(rxs); lo += chunk {
 			hi := min(lo+chunk, len(rxs))
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				resolveRange(lo, hi)
-			}(lo, hi)
+			f.wg.Add(1)
+			poolTasks <- resolveTask{f: f, txs: txs, rxs: rxs, out: out, lo: lo, hi: hi}
 		}
-		wg.Wait()
+		f.resolveRange(txs, rxs, out, 0, min(chunk, len(rxs)))
+		f.wg.Wait()
 	} else {
-		resolveRange(0, len(rxs))
+		f.resolveRange(txs, rxs, out, 0, len(rxs))
 	}
 	return out
 }
 
-func (f *Field) resolveOne(rx Rx, txs []Tx, chTxs []int) Reception {
+// resolveRange resolves listeners rxs[lo:hi] into out[lo:hi]. It is the
+// unit of work handed to pool workers; disjoint ranges touch disjoint out
+// entries, so workers share nothing but read-only slot state.
+func (f *Field) resolveRange(txs []Tx, rxs []Rx, out []Reception, lo, hi int) {
+	hier := f.slotHier
+	for i := lo; i < hi; i++ {
+		rx := rxs[i]
+		if hier {
+			if f.jammed[rx.Channel] {
+				// A jammed channel delivers nothing, so decode bookkeeping
+				// is skipped: the listener senses the exact flat power sum
+				// of the (unbinned) channel segment.
+				out[i] = Reception{From: -1, Interference: f.jammedTotal(rx)}
+			} else {
+				out[i] = f.resolveOneHier(rx, txs)
+			}
+			continue
+		}
+		out[i] = f.resolveOneExact(rx, txs)
+		if f.jammed[rx.Channel] && out[i].Decoded {
+			// Historical jam fold, preserved bit-for-bit: the signal is
+			// still sensed, nothing is delivered.
+			out[i].Interference += out[i].SignalPower
+			out[i].Decoded, out[i].From, out[i].Msg = false, -1, nil
+			out[i].SignalPower, out[i].SINR = 0, 0
+		}
+	}
+}
+
+// resolveOneExact scans the listener's whole channel segment pairwise, in
+// transmitter order — bit-identical to the pre-hierarchical resolver.
+func (f *Field) resolveOneExact(rx Rx, txs []Tx) Reception {
 	listener := f.pos[rx.Node]
+	lo, hi := f.soa.segment(rx.Channel)
+	self := int32(rx.Node)
 
 	var (
 		total    float64
-		best     = -1
+		best     = int32(-1)
 		bestPow  float64
 		infCount int
 	)
@@ -267,15 +427,20 @@ func (f *Field) resolveOne(rx Rx, txs []Tx, chTxs []int) Reception {
 		// multiplication, so P/(d·d·d) reproduces PowerAtDistance exactly.
 		lx, ly := listener.X, listener.Y
 		power := f.power
-		for _, ti := range chTxs {
-			tx := &txs[ti]
-			if tx.Node == rx.Node {
+		xs := f.soa.x[lo:hi]
+		ys := f.soa.y[lo:hi:hi][:len(xs)]
+		nodes := f.soa.node[lo:hi:hi][:len(xs)]
+		// bestPow starts at -Inf so the first scanned transmitter always
+		// wins the strict comparison — the same selection the historical
+		// "best == -1 ||" test made, without the extra branch per pair.
+		bestPow = math.Inf(-1)
+		for k := range xs {
+			if nodes[k] == self {
 				// A node cannot hear anything while transmitting; the
 				// engine never submits both, but be safe.
 				continue
 			}
-			q := f.pos[tx.Node]
-			dx, dy := lx-q.X, ly-q.Y
+			dx, dy := lx-xs[k], ly-ys[k]
 			d := math.Sqrt(dx*dx + dy*dy)
 			var pw float64
 			if d <= 0 {
@@ -285,8 +450,8 @@ func (f *Field) resolveOne(rx Rx, txs []Tx, chTxs []int) Reception {
 				pw = power / (d * d * d)
 			}
 			total += pw
-			if best == -1 || pw > bestPow {
-				best, bestPow = ti, pw
+			if pw > bestPow {
+				best, bestPow = int32(k), pw
 			}
 		}
 	} else {
@@ -294,27 +459,58 @@ func (f *Field) resolveOne(rx Rx, txs []Tx, chTxs []int) Reception {
 		if dist == nil {
 			dist = geo.Euclidean
 		}
-		for _, ti := range chTxs {
-			tx := &txs[ti]
-			if tx.Node == rx.Node {
+		nodes := f.soa.node[lo:hi]
+		for k := range nodes {
+			if nodes[k] == self {
 				continue
 			}
-			pw := f.params.PowerAtDistance(dist(listener, f.pos[tx.Node]))
+			pw := f.params.PowerAtDistance(dist(listener, f.pos[nodes[k]]))
 			if math.IsInf(pw, 1) {
 				infCount++
 			}
 			total += pw
 			if best == -1 || pw > bestPow {
-				best, bestPow = ti, pw
+				best, bestPow = int32(k), pw
 			}
 		}
 	}
-	return f.decide(txs, total, bestPow, best, infCount)
+	if best >= 0 {
+		return f.decide(txs, total, bestPow, int(f.soa.tx[lo+int(best)]), infCount)
+	}
+	return f.decide(txs, total, bestPow, -1, infCount)
+}
+
+// jammedTotal returns the exact summed power a listener on a jammed channel
+// senses in hierarchical mode: the flat channel segment, no decode
+// bookkeeping (jammed channels skip cell binning entirely).
+func (f *Field) jammedTotal(rx Rx) float64 {
+	listener := f.pos[rx.Node]
+	lo, hi := f.soa.segment(rx.Channel)
+	lx, ly := listener.X, listener.Y
+	self := int32(rx.Node)
+	power := f.power
+	cube := f.alphaInt == 3
+	var total float64
+	xs, ys, nodes := f.soa.x[lo:hi], f.soa.y[lo:hi], f.soa.node[lo:hi]
+	for k := range xs {
+		if nodes[k] == self {
+			continue
+		}
+		dx, dy := lx-xs[k], ly-ys[k]
+		d := math.Sqrt(dx*dx + dy*dy)
+		if cube && d > 0 {
+			total += power / (d * d * d)
+		} else {
+			total += f.powerAt(d)
+		}
+	}
+	return total
 }
 
 // decide applies the Eq. (1) threshold test to one listener's accumulated
-// scan: total sensed power, the strongest transmitter and its power, and how
-// many transmitters arrived with infinite power (co-located).
+// scan: total sensed power, the strongest transmitter (as an index into
+// txs) and its power, and how many transmitters arrived with infinite
+// power (co-located).
 func (f *Field) decide(txs []Tx, total, bestPow float64, best, infCount int) Reception {
 	rec := Reception{From: -1}
 	if best == -1 {

@@ -1,0 +1,45 @@
+package phy
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve fans listeners out across a package-level pool of persistent
+// worker goroutines instead of spawning goroutines per slot: a task is a
+// contiguous listener range, sent by value over a channel (no allocation),
+// and the submitting Field waits on its own WaitGroup. Workers from the
+// shared pool may serve several Fields concurrently — ranges are disjoint
+// and slot state is read-only during a Resolve, so tasks share nothing.
+// The pool is sized to GOMAXPROCS at first use and lives for the process;
+// a Field that never resolves slots large enough to fan out (see
+// minParallelWork) never starts it.
+
+type resolveTask struct {
+	f      *Field
+	txs    []Tx
+	rxs    []Rx
+	out    []Reception
+	lo, hi int
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan resolveTask
+)
+
+func startPool() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	poolTasks = make(chan resolveTask, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range poolTasks {
+				t.f.resolveRange(t.txs, t.rxs, t.out, t.lo, t.hi)
+				t.f.wg.Done()
+			}
+		}()
+	}
+}

@@ -71,16 +71,18 @@ func sameReceptions(t *testing.T, label string, a, b []Reception) {
 	}
 }
 
-// TestFastPathMatchesGeneric verifies the Euclidean α=3 scan loop is
+// TestFastPathMatchesGeneric verifies the Euclidean α=3 exact scan loop is
 // bit-identical to the generic metric loop (which uses math.Pow through
 // PowerAtDistance, exactly like the pre-optimization resolver): same decode
-// decisions, same powers, bit for bit.
+// decisions, same powers, bit for bit. The generic loop is the frozen
+// reference for the exact mode's transcript contract.
 func TestFastPathMatchesGeneric(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	p := model.Default(4, 256)
 	for trial := 0; trial < 50; trial++ {
 		pos, txs, rxs := randomSlot(r, 128, 4, 3.0, 0.3)
 		fast := NewField(p, pos)
+		fast.SetResolver(ResolverExact)
 		ref := NewFieldMetric(p, pos, geo.Euclidean) // generic loop
 		sameReceptions(t, "fast vs generic", fast.Resolve(txs, rxs), append([]Reception(nil), ref.Resolve(txs, rxs)...))
 	}
@@ -89,6 +91,7 @@ func TestFastPathMatchesGeneric(t *testing.T) {
 	txs := []Tx{{Node: 0, Channel: 0, Msg: 0}, {Node: 1, Channel: 0, Msg: 1}}
 	rxs := []Rx{{Node: 2, Channel: 0}, {Node: 3, Channel: 0}}
 	fast := NewField(p, pos)
+	fast.SetResolver(ResolverExact)
 	ref := NewFieldMetric(p, pos, geo.Euclidean)
 	sameReceptions(t, "co-located", fast.Resolve(txs, rxs), append([]Reception(nil), ref.Resolve(txs, rxs)...))
 }
@@ -144,6 +147,7 @@ func farFieldPair(t *testing.T, seed int64, n int, span float64, tol float64) (*
 	}
 	p := model.Default(2, n)
 	exact := NewField(p, pos)
+	exact.SetResolver(ResolverExact)
 	approx := NewField(p, pos)
 	approx.SetFarFieldTolerance(tol)
 	return exact, approx, pos
@@ -225,6 +229,7 @@ func TestFarFieldNeverDecodesBeyondRT(t *testing.T) {
 		pos = append(pos, geo.Point{X: 30 + 0.01*float64(i), Y: 0})
 	}
 	exact := NewField(p, pos)
+	exact.SetResolver(ResolverExact)
 	approx := NewField(p, pos)
 	approx.SetFarFieldTolerance(0.5)
 	var txs []Tx
@@ -302,7 +307,11 @@ func TestFarFieldValidation(t *testing.T) {
 	f := NewField(p, pos)
 	f.SetFarFieldTolerance(0.5)
 	f.SetFarFieldTolerance(0)
+	if f.Mode() != ResolverExact {
+		t.Error("SetFarFieldTolerance(0) should select exact resolution")
+	}
 	ref := NewField(p, pos)
+	ref.SetResolver(ResolverExact)
 	txs := []Tx{{Node: 0, Channel: 0, Msg: 1}}
 	rxs := []Rx{{Node: 1, Channel: 0}}
 	sameReceptions(t, "tol reset", f.Resolve(txs, rxs), append([]Reception(nil), ref.Resolve(txs, rxs)...))

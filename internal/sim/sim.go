@@ -353,12 +353,19 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 	expectCount := n
 	wakeAt := make(map[int][]int)
 
-	var (
-		txs []phy.Tx
-		rxs []phy.Rx
-	)
+	// The run's slot arena: action and reception buffers sized for every
+	// node once up front, and the field's struct-of-arrays / grid-bin
+	// scratch presized to match, so the steady-state slot pipeline —
+	// collect, resolve, deliver — allocates nothing.
+	txs := make([]phy.Tx, 0, n)
+	rxs := make([]phy.Rx, 0, n)
+	e.field.Reserve(n, n)
+
 	slot := startSlot
 	for used := 0; ; used++ {
+		// Collect the slot while retiring terminated nodes and registering
+		// fresh IdleFor batches — one fused pass over the node set.
+		txs, rxs = txs[:0], rxs[:0]
 		if expectCount > 0 {
 			// One wake token per slot: the last arrival of the barrier.
 			// From here until the release at the bottom of the loop every
@@ -385,7 +392,12 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 					nActive--
 					continue
 				}
-				if rs.pending[i].kind == actIdleLong {
+				switch rs.pending[i].kind {
+				case actTransmit:
+					txs = append(txs, phy.Tx{Node: i, Channel: rs.pending[i].ch, Msg: rs.pending[i].msg})
+				case actListen:
+					rxs = append(rxs, phy.Rx{Node: i, Channel: rs.pending[i].ch})
+				case actIdleLong:
 					// A fresh IdleFor batch: the node idles from this slot
 					// through slot+count-1 and skips those barriers.
 					end := slot + rs.pending[i].count - 1
@@ -399,7 +411,8 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 			}
 		}
 		// else: every live node is parked mid-IdleFor — nothing can arrive,
-		// terminate, or panic, so the engine advances the slot directly.
+		// terminate, or panic, so the engine advances the (empty) slot
+		// directly.
 		if err := ctx.Err(); err != nil {
 			abort()
 			return slot - startSlot, err
@@ -409,19 +422,6 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 			return slot - startSlot, fmt.Errorf("sim: exceeded MaxSlots = %d with %d nodes still live", maxSlots, nActive)
 		}
 
-		// Resolve the slot.
-		txs, rxs = txs[:0], rxs[:0]
-		for i := 0; i < n; i++ {
-			if !active[i] {
-				continue
-			}
-			switch rs.pending[i].kind {
-			case actTransmit:
-				txs = append(txs, phy.Tx{Node: i, Channel: rs.pending[i].ch, Msg: rs.pending[i].msg})
-			case actListen:
-				rxs = append(rxs, phy.Rx{Node: i, Channel: rs.pending[i].ch})
-			}
-		}
 		if e.Faults != nil {
 			e.Faults.BeginSlot(slot, e.field)
 		}

@@ -33,7 +33,9 @@ type Network struct {
 
 	maxSlots    int
 	parallelism int
-	farFieldTol float64
+	exact       bool
+	farFieldTol float64 // <0 = resolver default, 0 = exact, >0 = tolerance
+	cellFrac    float64 // 0 = resolver default
 
 	// faults is the fault/dynamics spec; faulted records that a fault
 	// option was given (possibly at zero intensity), which attaches the
@@ -144,7 +146,9 @@ func New(n int, opts ...Option) (*Network, error) {
 		plan:        core.NewPlan(p, cfg),
 		maxSlots:    s.maxSlots,
 		parallelism: s.parallelism,
+		exact:       s.exact,
 		farFieldTol: s.farFieldTol,
+		cellFrac:    s.cellFrac,
 		faults:      s.faults,
 		faulted:     s.faulted,
 	}, nil
@@ -214,11 +218,20 @@ func (nw *Network) Events(fn func(Event)) {
 }
 
 // newField builds a per-run resolver with the network's performance options
-// applied.
+// applied: hierarchical resolution at the default tolerance unless the
+// Exact, FarFieldTolerance or ResolverCellSize options said otherwise.
 func (nw *Network) newField(p model.Params) *phy.Field {
 	f := phy.NewField(p, nw.pos)
 	f.SetParallelism(nw.parallelism)
-	f.SetFarFieldTolerance(nw.farFieldTol)
+	if nw.cellFrac > 0 {
+		f.SetCellSize(nw.cellFrac)
+	}
+	switch {
+	case nw.exact:
+		f.SetResolver(phy.ResolverExact)
+	case nw.farFieldTol >= 0:
+		f.SetFarFieldTolerance(nw.farFieldTol) // 0 keeps the historical exact meaning
+	}
 	return f
 }
 

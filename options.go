@@ -21,7 +21,9 @@ type settings struct {
 	maxSlots                   int
 
 	parallelism int     // slot-resolution workers; 0 = GOMAXPROCS
-	farFieldTol float64 // far-field relative error; 0 = exact
+	exact       bool    // force exact resolution (Exact option)
+	farFieldTol float64 // far-field relative error; <0 = resolver default, 0 = exact
+	cellFrac    float64 // hierarchical grid cell size as a fraction of R_T; 0 = default
 
 	// faults is the run's fault/dynamics spec; faulted records that a fault
 	// option was given (even at zero intensity), which attaches the
@@ -32,13 +34,14 @@ type settings struct {
 
 func defaultSettings() settings {
 	return settings{
-		channels: 4,
-		seed:     1,
-		topo:     Crowd,
-		alpha:    3.0,
-		beta:     1.5,
-		noise:    1.0,
-		epsilon:  0.3,
+		channels:    4,
+		seed:        1,
+		topo:        Crowd,
+		alpha:       3.0,
+		beta:        1.5,
+		noise:       1.0,
+		epsilon:     0.3,
+		farFieldTol: -1, // resolver default (hierarchical at its default ε)
 	}
 }
 
@@ -262,21 +265,50 @@ func Churn(spec ChurnSpec) Option {
 	}
 }
 
-// FarFieldTolerance enables approximate far-field interference aggregation:
-// transmitters are bucketed into a spatial grid and cells far from a
-// listener contribute their summed power from the cell centroid, with
+// Exact forces bit-exact SINR resolution: every listener scans every
+// same-channel transmitter pairwise, exactly as the pre-hierarchical
+// resolver did, so transcripts replay bit-identically across releases. The
+// default is the hierarchical resolver (see FarFieldTolerance), which is
+// asymptotically faster on spread-out deployments. Exact overrides
+// FarFieldTolerance when both are given.
+func Exact() Option {
+	return func(s *settings) error {
+		s.exact = true
+		return nil
+	}
+}
+
+// FarFieldTolerance sets the hierarchical resolver's relative error bound
+// on far-field interference: each slot's transmitters are binned into a
+// spatial grid, cells near a listener are scanned exactly, and cells far
+// from it contribute their summed power from the cell centroid, with
 // relative error at most tol on the far-field interference term. The
-// default, 0, keeps resolution exact. Positive tolerances speed up large
-// spread-out deployments; decoding candidates are always evaluated exactly
-// (the near field covers the transmission range), so decode outcomes can
-// differ from exact mode only when the SINR sits within the far-field error
-// of the threshold β. Runs remain deterministic for a fixed tolerance.
+// resolver default is 0.05; tol = 0 selects exact resolution (equivalent
+// to Exact, and this knob's historical meaning). Decoding candidates are always evaluated exactly — the near
+// field covers the transmission range — so decode outcomes can differ from
+// exact mode only when the SINR sits within the far-field error of the
+// threshold β. Runs remain deterministic for a fixed tolerance at every
+// worker count.
 func FarFieldTolerance(tol float64) Option {
 	return func(s *settings) error {
 		if tol < 0 || tol != tol || tol > 1e18 {
 			return fmt.Errorf("mcnet: FarFieldTolerance = %v must be a finite value ≥ 0", tol)
 		}
 		s.farFieldTol = tol
+		return nil
+	}
+}
+
+// ResolverCellSize sizes the hierarchical resolver's grid cells as
+// frac·R_T (default 0.5). Smaller cells tighten the exactly-scanned near
+// region around each listener at the cost of more cells; the error bound
+// of FarFieldTolerance holds for every setting — only performance changes.
+func ResolverCellSize(frac float64) Option {
+	return func(s *settings) error {
+		if !(frac > 0) || frac > 1e6 || frac != frac {
+			return fmt.Errorf("mcnet: ResolverCellSize = %v must be a positive finite fraction of R_T", frac)
+		}
+		s.cellFrac = frac
 		return nil
 	}
 }
