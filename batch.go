@@ -78,6 +78,70 @@ type BatchOptions struct {
 	Progress func(done, total int)
 }
 
+// deploySet lazily builds one deployment per distinct spec seed: the first
+// run to need a seed constructs it, later runs (any worker) reuse it.
+// Errors are cached too, so every run of a broken deployment reports the
+// same construction error. It is safe for concurrent use.
+type deploySet struct {
+	n           int
+	base        []Option
+	deployments map[uint64]*deployment
+}
+
+type deployment struct {
+	once sync.Once
+	nw   *Network
+	err  error
+}
+
+// newDeploySet prepares the per-seed cache for the given specs.
+func newDeploySet(n int, base []Option, specs []RunSpec) *deploySet {
+	ds := &deploySet{n: n, base: base, deployments: make(map[uint64]*deployment, len(specs))}
+	for _, rs := range specs {
+		if _, ok := ds.deployments[rs.Seed]; !ok {
+			ds.deployments[rs.Seed] = &deployment{}
+		}
+	}
+	return ds
+}
+
+// run executes one spec's Aggregate against the shared deployment for its
+// seed, with the spec's fault layer swapped in.
+func (ds *deploySet) run(ctx context.Context, rs RunSpec) (*AggregateResult, error) {
+	d := ds.deployments[rs.Seed]
+	if d == nil {
+		// A spec outside the prepared set still runs; it just pays its own
+		// construction instead of sharing one.
+		d = &deployment{}
+	}
+	d.once.Do(func() {
+		opts := append(append(make([]Option, 0, len(ds.base)+1), ds.base...), Seed(rs.Seed))
+		d.nw, d.err = New(ds.n, opts...)
+	})
+	if d.err != nil {
+		return nil, d.err
+	}
+	nw := d.nw
+	if rs.faulted() {
+		var err error
+		if nw, err = nw.withFaults(rs.faultSpec()); err != nil {
+			return nil, err
+		}
+	}
+	values := rs.Values
+	if values == nil {
+		values = make([]int64, nw.N())
+		for j := range values {
+			values[j] = int64(j + 1)
+		}
+	}
+	op := rs.Op
+	if op == nil {
+		op = Sum
+	}
+	return nw.Aggregate(ctx, values, op)
+}
+
 // RunBatch executes one Aggregate run per spec across a worker pool and
 // returns the results indexed like the specs. The batch is a deterministic
 // function of (n, base, specs): every worker count yields the same results
@@ -96,51 +160,10 @@ func RunBatch(ctx context.Context, n int, base []Option, specs []RunSpec, bo Bat
 	if bo.Workers < 0 {
 		return nil, fmt.Errorf("mcnet: batch workers = %d must be ≥ 0", bo.Workers)
 	}
-	// One lazily built deployment per distinct seed: the first run to need
-	// a seed constructs it, later runs (any worker) reuse it. Errors are
-	// cached too, so every run of a broken deployment reports the same
-	// construction error.
-	type deployment struct {
-		once sync.Once
-		nw   *Network
-		err  error
-	}
-	deployments := make(map[uint64]*deployment, len(specs))
-	for _, rs := range specs {
-		if _, ok := deployments[rs.Seed]; !ok {
-			deployments[rs.Seed] = &deployment{}
-		}
-	}
+	ds := newDeploySet(n, base, specs)
 	pool := batch.Pool{Workers: bo.Workers, Progress: bo.Progress}
 	return batch.Map(ctx, pool, len(specs), func(ctx context.Context, i int) (*AggregateResult, error) {
-		rs := specs[i]
-		d := deployments[rs.Seed]
-		d.once.Do(func() {
-			opts := append(append(make([]Option, 0, len(base)+1), base...), Seed(rs.Seed))
-			d.nw, d.err = New(n, opts...)
-		})
-		if d.err != nil {
-			return nil, d.err
-		}
-		nw := d.nw
-		if rs.faulted() {
-			var err error
-			if nw, err = nw.withFaults(rs.faultSpec()); err != nil {
-				return nil, err
-			}
-		}
-		values := rs.Values
-		if values == nil {
-			values = make([]int64, nw.N())
-			for j := range values {
-				values[j] = int64(j + 1)
-			}
-		}
-		op := rs.Op
-		if op == nil {
-			op = Sum
-		}
-		return nw.Aggregate(ctx, values, op)
+		return ds.run(ctx, specs[i])
 	})
 }
 

@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"mcnet"
 	"mcnet/cmd/internal/prof"
@@ -74,10 +77,14 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 			fmt.Fprintln(errOut, "mcagg:", err)
 		}
 	}()
+	// SIGINT/SIGTERM cancel the suite between runs: the current experiment
+	// stops, profiles are still flushed by fatal, and the exit is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick, Parallel: *parallel}
 	var tables []*mcnet.Table
 	if strings.EqualFold(*exp, "all") {
-		ts, err := mcnet.AllExperiments(o)
+		ts, err := mcnet.AllExperimentsContext(ctx, o)
 		if err != nil {
 			fmt.Fprintln(errOut, "mcagg:", err)
 			fatal(1)
@@ -85,7 +92,7 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		}
 		tables = ts
 	} else {
-		tb, err := mcnet.RunExperiment(*exp, o)
+		tb, err := mcnet.RunExperimentContext(ctx, *exp, o)
 		if err != nil {
 			if errors.Is(err, mcnet.ErrUnknownExperiment) {
 				fmt.Fprintf(errOut, "mcagg: unknown experiment %q (valid: %s; use -exp all for the suite)\n",

@@ -3,7 +3,8 @@
 // jamming and node churn, in every combination, with medians over seeded
 // repetitions. Runs execute across a worker pool (-parallel; grid-point
 // progress goes to stderr) and the sweep is deterministic — a fixed -seed
-// emits a byte-identical table across runs and worker counts.
+// emits a byte-identical table across runs and worker counts. SIGINT or
+// SIGTERM cancels the sweep between runs with a non-zero exit.
 //
 // Usage:
 //
@@ -13,6 +14,14 @@
 //	mcscenario -loss 0,0.1 -jam 0,1 -churn 0,0.1 -csv # full grid, CSV
 //	mcscenario -loss 0,0.1 -seeds 8 -parallel 4       # 4 workers, same table
 //
+// Sweeps can also be described as JSON spec documents — the same format
+// the mcserved daemon accepts — and either run locally or submitted to a
+// running daemon:
+//
+//	mcscenario -spec sweep.json                        # run the document locally
+//	mcscenario -spec sweep.json -submit http://:8357   # queue it on a daemon
+//	mcscenario -loss 0,0.1 -submit http://:8357        # flags → spec → daemon
+//
 // Hot-path regressions can be profiled without editing code:
 //
 //	mcscenario -loss 0,0.1 -cpuprofile cpu.out -memprofile mem.out
@@ -20,13 +29,18 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"mcnet"
 	"mcnet/cmd/internal/prof"
@@ -51,6 +65,8 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		csv        = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		parallel   = fs.Int("parallel", 0, "worker-pool size for the sweep's runs (0 = GOMAXPROCS, 1 = serial)")
 		quiet      = fs.Bool("quiet", false, "suppress grid-point progress on stderr")
+		specFile   = fs.String("spec", "", "run this JSON scenario spec document instead of the grid flags")
+		submit     = fs.String("submit", "", "submit the sweep to the mcserved daemon at this base URL instead of running locally")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -62,85 +78,120 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		fmt.Fprintf(errOut, "mcscenario: "+format+"\n", args...)
 		exit(2)
 	}
-	if *n < 2 {
-		fail("-n = %d must be ≥ 2", *n)
-		return
-	}
-	if *channels < 1 {
-		fail("-channels = %d must be ≥ 1", *channels)
-		return
-	}
-	if *seeds < 1 {
-		fail("-seeds = %d must be ≥ 1", *seeds)
-		return
-	}
 	if *parallel < 0 {
 		fail("-parallel = %d must be ≥ 0 (0 = GOMAXPROCS)", *parallel)
 		return
 	}
-	var topo mcnet.Topology
-	switch *kind {
-	case "uniform":
-		topo = mcnet.Uniform(12)
-	case "crowd":
-		topo = mcnet.Crowd
-	case "grid":
-		topo = mcnet.Grid
-	case "line":
-		topo = mcnet.Line(0.7)
-	case "ring":
-		topo = mcnet.Ring(0.7)
-	default:
-		fail("unknown topology %q (valid: uniform, crowd, grid, line, ring)", *kind)
-		return
-	}
-	var model mcnet.JamModel
-	switch *jamModel {
-	case "oblivious":
-		model = mcnet.JamOblivious
-	case "roundrobin":
-		model = mcnet.JamRoundRobin
-	default:
-		fail("unknown jam model %q (valid: oblivious, roundrobin)", *jamModel)
-		return
-	}
-	lossGrid, err := parseFloats(*loss)
-	if err != nil {
-		fail("-loss: %v", err)
-		return
-	}
-	for _, p := range lossGrid {
-		if p < 0 || p > 1 {
-			fail("-loss value %v must be in [0, 1]", p)
+
+	// SIGINT/SIGTERM cancel the sweep between runs: profiles still flush,
+	// the exit is non-zero, and no partial table is printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The sweep comes from a spec document (-spec) or from the grid flags;
+	// either way it can run locally or be submitted to a daemon (-submit).
+	var (
+		sc  mcnet.Scenario
+		doc []byte
+	)
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		sp, err := mcnet.ParseScenarioSpec(data)
+		if err != nil {
+			fail("%s: %v", *specFile, err)
+			return
+		}
+		doc = data
+		if sc, err = sp.Scenario(); err != nil {
+			fail("%s: %v", *specFile, err)
+			return
+		}
+	} else {
+		if *n < 2 {
+			fail("-n = %d must be ≥ 2", *n)
+			return
+		}
+		if *channels < 1 {
+			fail("-channels = %d must be ≥ 1", *channels)
+			return
+		}
+		if *seeds < 1 {
+			fail("-seeds = %d must be ≥ 1", *seeds)
+			return
+		}
+		lossGrid, err := parseFloats(*loss)
+		if err != nil {
+			fail("-loss: %v", err)
+			return
+		}
+		for _, p := range lossGrid {
+			if p < 0 || p > 1 {
+				fail("-loss value %v must be in [0, 1]", p)
+				return
+			}
+		}
+		jamGrid, err := parseInts(*jam)
+		if err != nil {
+			fail("-jam: %v", err)
+			return
+		}
+		for _, k := range jamGrid {
+			if k < 0 {
+				fail("-jam value %d must be ≥ 0", k)
+				return
+			}
+			if k >= *channels {
+				fail("-jam value %d jams every one of %d channels; leave at least one usable", k, *channels)
+				return
+			}
+		}
+		churnGrid, err := parseFloats(*churn)
+		if err != nil {
+			fail("-churn: %v", err)
+			return
+		}
+		for _, r := range churnGrid {
+			if r < 0 || r > 1 {
+				fail("-churn value %v must be in [0, 1]", r)
+				return
+			}
+		}
+		// Route flags through the spec document so the local run, the spec
+		// file and the daemon all validate and execute identically.
+		sp := mcnet.ScenarioSpec{
+			Name:     *name,
+			N:        *n,
+			Topology: *kind,
+			Channels: *channels,
+			Loss:     lossGrid,
+			Jam:      jamGrid,
+			Churn:    churnGrid,
+			JamModel: *jamModel,
+			Seeds:    *seeds,
+			BaseSeed: *seed,
+		}
+		if sc, err = sp.Scenario(); err != nil {
+			fail("%v", err)
+			return
+		}
+		if doc, err = json.Marshal(sp); err != nil {
+			fail("encoding spec: %v", err)
 			return
 		}
 	}
-	jamGrid, err := parseInts(*jam)
-	if err != nil {
-		fail("-jam: %v", err)
+
+	if *submit != "" {
+		if err := submitJob(ctx, *submit, doc, out); err != nil {
+			fmt.Fprintln(errOut, "mcscenario:", err)
+			exit(1)
+		}
 		return
 	}
-	for _, k := range jamGrid {
-		if k < 0 {
-			fail("-jam value %d must be ≥ 0", k)
-			return
-		}
-		if k >= *channels {
-			fail("-jam value %d jams every one of %d channels; leave at least one usable", k, *channels)
-			return
-		}
-	}
-	churnGrid, err := parseFloats(*churn)
-	if err != nil {
-		fail("-churn: %v", err)
-		return
-	}
-	for _, r := range churnGrid {
-		if r < 0 || r > 1 {
-			fail("-churn value %v must be in [0, 1]", r)
-			return
-		}
-	}
+
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(errOut, "mcscenario:", err)
@@ -158,31 +209,29 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 	// interleave runs from several grid points, so the point counter is the
 	// completed-work equivalent (exact only for -parallel 1, where runs
 	// finish in grid order).
-	points := len(lossGrid) * len(jamGrid) * len(churnGrid)
-	var progress func(done, total int)
+	axis := func(k int) int {
+		if k == 0 {
+			return 1 // an empty axis sweeps the single zero-fault point
+		}
+		return k
+	}
+	points := axis(len(sc.Loss)) * axis(len(sc.Jam)) * axis(len(sc.Churn))
+	reps := sc.Seeds
+	if reps < 1 {
+		reps = 1
+	}
 	if !*quiet {
 		fmt.Fprintf(errOut, "mcscenario: sweeping %d grid points × %d seeds = %d runs\n",
-			points, *seeds, points**seeds)
-		progress = func(done, total int) {
-			if done%*seeds == 0 || done == total {
+			points, reps, points*reps)
+		sc.Progress = func(done, total int) {
+			if done%reps == 0 || done == total {
 				fmt.Fprintf(errOut, "mcscenario: %d/%d runs (≈ %d/%d grid points)\n",
-					done, total, done / *seeds, points)
+					done, total, done/reps, points)
 			}
 		}
 	}
-	tb, err := mcnet.RunScenario(context.Background(), mcnet.Scenario{
-		Name:     *name,
-		N:        *n,
-		Options:  []mcnet.Option{mcnet.WithTopology(topo), mcnet.Channels(*channels)},
-		Loss:     lossGrid,
-		Jam:      jamGrid,
-		Churn:    churnGrid,
-		JamModel: model,
-		Seeds:    *seeds,
-		BaseSeed: *seed,
-		Workers:  *parallel,
-		Progress: progress,
-	})
+	sc.Workers = *parallel
+	tb, err := mcnet.RunScenario(ctx, sc)
 	if err != nil {
 		fmt.Fprintln(errOut, "mcscenario:", err)
 		// exit may be os.Exit, which skips defers — flush the profiles so
@@ -199,6 +248,31 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 	} else {
 		fmt.Fprintln(out, tb.Render())
 	}
+}
+
+// submitJob posts the spec document to a running mcserved daemon and
+// prints the accepted job's status document.
+func submitJob(ctx context.Context, baseURL string, doc []byte, out io.Writer) error {
+	url := strings.TrimSuffix(baseURL, "/") + "/v1/jobs"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(doc))
+	if err != nil {
+		return fmt.Errorf("submitting to %s: %w", baseURL, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("submitting to %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading response from %s: %w", baseURL, err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("daemon refused the job: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, err = out.Write(body)
+	return err
 }
 
 func parseFloats(s string) ([]float64, error) {

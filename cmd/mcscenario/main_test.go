@@ -2,10 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"mcnet/internal/serve"
 )
 
 func TestScenarioSweep(t *testing.T) {
@@ -116,5 +122,85 @@ func TestRunProfiles(t *testing.T) {
 	}
 	if !strings.Contains(errBuf.String(), "prof") {
 		t.Errorf("missing stderr diagnostic for failed heap profile: %q", errBuf.String())
+	}
+}
+
+// TestScenarioSpecFile: running a spec document locally emits the same
+// CSV as the equivalent grid flags.
+func TestScenarioSpecFile(t *testing.T) {
+	doc := `{"name": "specrun", "n": 32, "loss": [0, 0.1], "jam": [0, 1], "seeds": 2, "base_seed": 7}`
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sweep := func(args ...string) string {
+		var buf, errBuf bytes.Buffer
+		exitCode := -1
+		run(args, &buf, &errBuf, func(c int) { exitCode = c })
+		if exitCode != -1 {
+			t.Fatalf("run(%v): exit code %d: %s", args, exitCode, errBuf.String())
+		}
+		return buf.String()
+	}
+	fromSpec := sweep("-spec", path, "-csv", "-quiet")
+	fromFlags := sweep("-name", "specrun", "-n", "32", "-loss", "0,0.1", "-jam", "0,1",
+		"-seeds", "2", "-seed", "7", "-csv", "-quiet")
+	if fromSpec != fromFlags {
+		t.Errorf("spec and flag sweeps differ:\n%s---\n%s", fromSpec, fromFlags)
+	}
+
+	// Broken documents exit 2 with the offending field named.
+	var buf, errBuf bytes.Buffer
+	exitCode := -1
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"n": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run([]string{"-spec", bad}, &buf, &errBuf, func(c int) { exitCode = c })
+	if exitCode != 2 || !strings.Contains(errBuf.String(), `"n"`) {
+		t.Errorf("bad spec: exit %d, stderr %q", exitCode, errBuf.String())
+	}
+}
+
+// TestScenarioSubmit: -submit posts the sweep to a daemon and prints the
+// accepted job; a refused submission exits 1.
+func TestScenarioSubmit(t *testing.T) {
+	s, err := serve.NewServer(serve.Config{Dir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s.Drain(ctx)
+	}()
+
+	var buf, errBuf bytes.Buffer
+	exitCode := -1
+	run([]string{"-n", "16", "-loss", "0,0.1", "-submit", ts.URL},
+		&buf, &errBuf, func(c int) { exitCode = c })
+	if exitCode != -1 {
+		t.Fatalf("submit: exit code %d: %s", exitCode, errBuf.String())
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Total int    `json:"total"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+		t.Fatalf("submit output %q: %v", buf.String(), err)
+	}
+	if st.ID == "" || st.Total != 2 {
+		t.Errorf("submit response %+v, want a 2-item job", st)
+	}
+
+	exitCode = -1
+	errBuf.Reset()
+	run([]string{"-n", "16", "-channels", "2", "-jam", "0,1", "-submit", ts.URL + "/nowhere"},
+		&bytes.Buffer{}, &errBuf, func(c int) { exitCode = c })
+	if exitCode != 1 {
+		t.Errorf("submit to a bad endpoint: exit code %d, want 1 (%s)", exitCode, errBuf.String())
 	}
 }

@@ -1,0 +1,127 @@
+// Command mcserved is the scenario sweep service daemon: an HTTP/JSON
+// server that accepts scenario spec documents, queues them durably on
+// disk, and executes each sweep on the batch worker pool. A killed daemon
+// restarted on the same state directory resumes interrupted jobs from
+// their last durably landed item, and the finished sweep's table is
+// byte-identical to an uninterrupted run (and to an in-process
+// mcscenario run of the same spec).
+//
+// Usage:
+//
+//	mcserved                                  # serve on 127.0.0.1:8357, state in ./mcserved-data
+//	mcserved -addr :8357 -dir /var/lib/mcserved -workers 4
+//
+// Interact with curl (or mcscenario -submit):
+//
+//	curl -d '{"n":96,"loss":[0,0.05,0.1],"seeds":3}' localhost:8357/v1/jobs
+//	curl localhost:8357/v1/jobs/j00000001          # status
+//	curl -N localhost:8357/v1/jobs/j00000001/events   # SSE progress
+//	curl localhost:8357/v1/jobs/j00000001/results  # NDJSON, one line per run
+//	curl localhost:8357/v1/jobs/j00000001/table    # the rendered sweep table
+//	curl localhost:8357/v1/stats                   # throughput and queue gauges
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, the running job
+// stops at the next item boundary with its results durable, and the job
+// resumes when the daemon next boots.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcnet/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "mcserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled (the signal path) or the listener
+// fails, then drains. Split from main so tests can drive a full daemon
+// lifecycle in-process.
+func run(ctx context.Context, args []string, errOut io.Writer) error {
+	fs := flag.NewFlagSet("mcserved", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8357", "listen address")
+		dir      = fs.String("dir", "mcserved-data", "persistent state directory (created if missing)")
+		workers  = fs.Int("workers", 0, "worker-pool size per running job (0 = GOMAXPROCS, 1 = serial)")
+		maxQueue = fs.Int("max-queue", 64, "queued-job bound; submissions beyond it get 429")
+		drainFor = fs.Duration("drain-timeout", time.Minute, "how long a shutdown waits for the running item to land")
+		quiet    = fs.Bool("quiet", false, "suppress per-event logging on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *maxQueue < 1 {
+		return fmt.Errorf("-max-queue = %d must be ≥ 1", *maxQueue)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers = %d must be ≥ 0 (0 = GOMAXPROCS)", *workers)
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(errOut, format+"\n", args...)
+		}
+	}
+
+	s, err := serve.NewServer(serve.Config{Dir: *dir, Workers: *workers, MaxQueue: *maxQueue, Logf: logf})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		// The executor is already live; park its state cleanly before failing.
+		dctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		_ = s.Drain(dctx)
+		return err
+	}
+	logf("mcserved: listening on http://%s (state in %s)", ln.Addr(), *dir)
+
+	httpSrv := &http.Server{Handler: s}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	logf("mcserved: signal received; draining")
+
+	// Drain the executor first: new submissions get 503, the running job
+	// stops at the next item boundary, and every landed result is durable
+	// before the listener goes away — the next boot resumes the job. Then
+	// give short requests a moment to finish and force-close long-lived
+	// connections (SSE streams of unfinished jobs never end on their own).
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainFor)
+	defer dcancel()
+	drainErr := s.Drain(dctx)
+	gctx, gcancel := context.WithTimeout(context.Background(), time.Second)
+	_ = httpSrv.Shutdown(gctx)
+	gcancel()
+	_ = httpSrv.Close()
+	if drainErr != nil {
+		return drainErr
+	}
+	logf("mcserved: drained; state is consistent in %s", *dir)
+	return nil
+}

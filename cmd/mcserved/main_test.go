@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe log sink the test can poll.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (sb *syncBuffer) Write(p []byte) (int, error) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.Write(p)
+}
+
+func (sb *syncBuffer) String() string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.b.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (http://[^\s]+)`)
+
+// TestDaemonLifecycle drives the full binary path in-process: boot on a
+// temp dir and a kernel-assigned port, submit a sweep over HTTP, wait for
+// it to finish, download the table, then shut down via context
+// cancellation — the signal path — and expect a clean drain.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var logs syncBuffer
+	runDone := make(chan error, 1)
+	go func() {
+		runDone <- run(ctx, []string{"-addr", "127.0.0.1:0", "-dir", t.TempDir()}, &logs)
+	}()
+
+	// The daemon logs its bound address once the listener is up.
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for base == "" {
+		if m := listenLine.FindStringSubmatch(logs.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; logs:\n%s", logs.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"n": 16, "channels": 3, "loss": [0, 0.1], "seeds": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Done  int    `json:"done"`
+		Total int    `json:"total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.Total != 2 {
+		t.Fatalf("submit: status %d, %+v", resp.StatusCode, st)
+	}
+
+	deadline = time.Now().Add(2 * time.Minute)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck at %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+		resp, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(table), "loss") {
+		t.Errorf("table output looks wrong:\n%s", table)
+	}
+
+	// The signal path: cancelling the run context must drain and return nil.
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("run returned %v after drain", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("daemon did not drain after cancellation")
+	}
+	if !strings.Contains(logs.String(), "drained") {
+		t.Errorf("logs do not mention the drain:\n%s", logs.String())
+	}
+}
+
+// TestDaemonFlagValidation: bad flags fail fast without binding a port.
+func TestDaemonFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-max-queue", "0"},
+		{"-workers", "-1"},
+		{"-bogus"},
+	} {
+		var logs syncBuffer
+		if err := run(context.Background(), args, &logs); err == nil {
+			t.Errorf("run(%v) accepted bad flags", args)
+		}
+	}
+}

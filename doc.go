@@ -59,6 +59,24 @@
 // run error aborts a batch, and a cancelled context returns ctx.Err()
 // promptly without leaking goroutines.
 //
+// # Scenario service
+//
+// Sweeps travel as JSON spec documents: ScenarioSpec is the stable wire
+// format (strict parsing via ParseScenarioSpec — unknown fields rejected,
+// validation errors name the offending field), RunSpec marshals per-run
+// fault layers, and Scenario.Compile exposes the sweep's executable form
+// (Len/Specs/Run/Fold) so external schedulers can run items one at a time
+// and fold them later. Items are pure functions of (spec, index), which
+// makes sweeps resumable from any durable prefix. cmd/mcserved is the
+// long-running daemon built on this (internal/serve): an HTTP/JSON
+// service with a persistent on-disk job queue, per-job NDJSON result
+// logs written in strict index order, SSE progress streaming, admission
+// control and graceful drain — a killed daemon resumes interrupted jobs
+// from the last durable item, and the finished table is byte-identical
+// to an uninterrupted in-process RunScenario. cmd/mcscenario runs the
+// same documents locally (-spec) or submits them to a daemon (-submit).
+// All CLIs cancel cleanly on SIGINT/SIGTERM via signal.NotifyContext.
+//
 // # Performance options
 //
 // Slot resolution is the hot path. By default it runs the hierarchical

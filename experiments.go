@@ -1,6 +1,7 @@
 package mcnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -49,12 +50,18 @@ func ExperimentIDs() []string {
 // returns its table. Unknown ids yield a descriptive error wrapping
 // ErrUnknownExperiment.
 func RunExperiment(id string, o ExperimentOptions) (*Table, error) {
+	return RunExperimentContext(context.Background(), id, o)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: the sweep stops
+// between runs when ctx is done and returns ctx's error.
+func RunExperimentContext(ctx context.Context, id string, o ExperimentOptions) (*Table, error) {
 	runner, ok := expt.ByName(strings.ToLower(id))
 	if !ok {
 		return nil, fmt.Errorf("mcnet: %w %q (valid: %s; use AllExperiments for the suite)",
 			ErrUnknownExperiment, id, strings.Join(ExperimentIDs(), ", "))
 	}
-	tb, err := runner(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel})
+	tb, err := runner(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +70,14 @@ func RunExperiment(id string, o ExperimentOptions) (*Table, error) {
 
 // AllExperiments runs the full e1..e10 suite in order.
 func AllExperiments(o ExperimentOptions) ([]*Table, error) {
-	ts, err := expt.All(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel})
+	return AllExperimentsContext(context.Background(), o)
+}
+
+// AllExperimentsContext is AllExperiments with cancellation; the tables of
+// experiments that completed before ctx fired are returned alongside the
+// error.
+func AllExperimentsContext(ctx context.Context, o ExperimentOptions) ([]*Table, error) {
+	ts, err := expt.All(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel, Ctx: ctx})
 	out := make([]*Table, len(ts))
 	for i, tb := range ts {
 		out[i] = &Table{t: tb}

@@ -1,6 +1,7 @@
 package mcnet
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -52,5 +53,18 @@ func TestExperimentIDs(t *testing.T) {
 		if !found {
 			t.Errorf("missing id %q", want)
 		}
+	}
+}
+
+// TestRunExperimentContextCanceled: a dead context stops the sweep with
+// its cause, the contract behind Ctrl-C in the CLIs.
+func TestRunExperimentContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunExperimentContext(ctx, "e1", ExperimentOptions{Seeds: 1, Quick: true}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunExperimentContext(canceled) err = %v, want context.Canceled", err)
+	}
+	if _, err := AllExperimentsContext(ctx, ExperimentOptions{Seeds: 1, Quick: true}); !errors.Is(err, context.Canceled) {
+		t.Errorf("AllExperimentsContext(canceled) err = %v, want context.Canceled", err)
 	}
 }

@@ -61,7 +61,40 @@ func (p Pool) workers(n int) int {
 // cancelled with it, so runs that honor their context abort promptly
 // mid-item too.
 func (p Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	return p.RunResume(ctx, n, nil, fn)
+}
+
+// RunResume is Run for a partially completed batch: indices for which
+// done(i) reports true are skipped — their work landed durably in an
+// earlier attempt — and only the remainder executes. A nil done resumes
+// nothing (it is exactly Run).
+//
+// done is consulted once per index before any item starts, so it may read
+// mutable recovery state without synchronizing against the workers. The
+// Progress callback stays monotonic across the resume: already-done items
+// are reported as completed (one call with their total) before the first
+// new item runs, and each executed item advances the count from there, so
+// a resumed batch's progress sequence ends at (n, n) exactly like a fresh
+// one.
+func (p Pool) RunResume(ctx context.Context, n int, done func(i int) bool, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
+		return ctx.Err()
+	}
+	var skip []bool
+	pre := 0
+	if done != nil {
+		skip = make([]bool, n)
+		for i := 0; i < n; i++ {
+			if done(i) {
+				skip[i] = true
+				pre++
+			}
+		}
+	}
+	if p.Progress != nil && pre > 0 {
+		p.Progress(pre, n)
+	}
+	if pre == n {
 		return ctx.Err()
 	}
 	runCtx, cancel := context.WithCancel(ctx)
@@ -72,9 +105,9 @@ func (p Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
-		done     int
 	)
-	for w := p.workers(n); w > 0; w-- {
+	completed := pre
+	for w := p.workers(n - pre); w > 0; w-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -82,6 +115,9 @@ func (p Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int
 				i := int(next.Add(1)) - 1
 				if i >= n || runCtx.Err() != nil {
 					return
+				}
+				if skip != nil && skip[i] {
+					continue
 				}
 				if err := fn(runCtx, i); err != nil {
 					mu.Lock()
@@ -93,9 +129,9 @@ func (p Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int
 					return
 				}
 				mu.Lock()
-				done++
+				completed++
 				if p.Progress != nil {
-					p.Progress(done, n)
+					p.Progress(completed, n)
 				}
 				mu.Unlock()
 			}
@@ -115,8 +151,33 @@ func (p Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int
 // collect-into-a-slice loop, byte-identical at every worker count. On error
 // the partial results are discarded and Run's error contract applies.
 func Map[T any](ctx context.Context, p Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapResume(ctx, p, n, nil, fn)
+}
+
+// MapResume is Map for a partially completed batch: indices for which
+// have(i) reports (value, true) are prefilled with that recovered value
+// and never re-executed; only the remainder runs. The returned slice is
+// identical to what Map over all n items would have produced, provided
+// the recovered values are the ones those items compute — which holds by
+// construction when items are deterministic, the property every sweep in
+// this module guarantees. A nil have recovers nothing (it is exactly Map).
+func MapResume[T any](ctx context.Context, p Pool, n int, have func(i int) (T, bool), fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := p.Run(ctx, n, func(ctx context.Context, i int) error {
+	var recovered []bool
+	if have != nil {
+		recovered = make([]bool, n)
+		for i := 0; i < n; i++ {
+			if v, ok := have(i); ok {
+				out[i] = v
+				recovered[i] = true
+			}
+		}
+	}
+	var done func(i int) bool
+	if recovered != nil {
+		done = func(i int) bool { return recovered[i] }
+	}
+	err := p.RunResume(ctx, n, done, func(ctx context.Context, i int) error {
 		v, err := fn(ctx, i)
 		if err != nil {
 			return err

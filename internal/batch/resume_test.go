@@ -1,0 +1,164 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapResumeSkipsLandedIndices: recovered indices are never re-executed
+// and the final slice matches the fresh Map at every worker count.
+func TestMapResumeSkipsLandedIndices(t *testing.T) {
+	const n = 60
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * 3
+	}
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 9} {
+		// Everything below the prefix plus a scattered set has landed.
+		landed := func(i int) bool { return i < 17 || i%7 == 3 }
+		var executed sync.Map
+		got, err := MapResume(context.Background(), Pool{Workers: workers}, n,
+			func(i int) (int, bool) {
+				if landed(i) {
+					return i * 3, true
+				}
+				return 0, false
+			},
+			func(_ context.Context, i int) (int, error) {
+				if _, dup := executed.LoadOrStore(i, true); dup {
+					t.Errorf("workers=%d: item %d executed twice", workers, i)
+				}
+				return i * 3, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+		executed.Range(func(k, _ any) bool {
+			if landed(k.(int)) {
+				t.Errorf("workers=%d: landed item %d re-executed", workers, k)
+			}
+			return true
+		})
+	}
+}
+
+// TestMapResumeAllLanded: a fully recovered batch executes nothing and
+// still returns the complete slice.
+func TestMapResumeAllLanded(t *testing.T) {
+	got, err := MapResume(context.Background(), Pool{Workers: 4}, 10,
+		func(i int) (int, bool) { return i + 100, true },
+		func(_ context.Context, i int) (int, error) {
+			t.Errorf("item %d executed in a fully recovered batch", i)
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+100 {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i+100)
+		}
+	}
+}
+
+// TestRunResumeProgressMonotonic: across a resume, the progress sequence
+// starts at the recovered count, increases strictly one at a time, and
+// ends at (n, n) — exactly like a fresh run's tail.
+func TestRunResumeProgressMonotonic(t *testing.T) {
+	const n, pre = 24, 9
+	var mu sync.Mutex
+	var seq [][2]int
+	p := Pool{Workers: 3, Progress: func(done, total int) {
+		mu.Lock()
+		seq = append(seq, [2]int{done, total})
+		mu.Unlock()
+	}}
+	err := p.RunResume(context.Background(), n,
+		func(i int) bool { return i < pre },
+		func(context.Context, int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != n-pre+1 {
+		t.Fatalf("%d progress calls, want %d", len(seq), n-pre+1)
+	}
+	if seq[0] != [2]int{pre, n} {
+		t.Fatalf("first progress call %v, want (%d, %d)", seq[0], pre, n)
+	}
+	for k := 1; k < len(seq); k++ {
+		if seq[k][0] != seq[k-1][0]+1 || seq[k][1] != n {
+			t.Fatalf("progress not monotonic at call %d: %v", k, seq)
+		}
+	}
+	if last := seq[len(seq)-1]; last != [2]int{n, n} {
+		t.Fatalf("final progress call %v, want (%d, %d)", last, n, n)
+	}
+}
+
+// TestProgressMonotonicUnderCancellation: when the batch is cancelled
+// mid-flight, whatever progress was reported is still strictly increasing
+// and never exceeds the item count — no double counting, no regression,
+// at several worker counts.
+func TestProgressMonotonicUnderCancellation(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var mu sync.Mutex
+		var seq []int
+		var ran atomic.Int64
+		p := Pool{Workers: workers, Progress: func(done, total int) {
+			mu.Lock()
+			seq = append(seq, done)
+			mu.Unlock()
+			if total != n {
+				t.Errorf("workers=%d: progress total %d, want %d", workers, total, n)
+			}
+		}}
+		err := p.Run(ctx, n, func(context.Context, int) error {
+			if ran.Add(1) == 20 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		mu.Lock()
+		for k := 1; k < len(seq); k++ {
+			if seq[k] != seq[k-1]+1 {
+				t.Fatalf("workers=%d: progress sequence not monotonic: %v", workers, seq)
+			}
+		}
+		if len(seq) > 0 && seq[len(seq)-1] > n {
+			t.Fatalf("workers=%d: progress exceeded total: %v", workers, seq)
+		}
+		mu.Unlock()
+	}
+}
+
+// TestRunResumeErrorPropagates: errors in the re-executed remainder keep
+// Run's first-error contract.
+func TestRunResumeErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	err := Pool{Workers: 2}.RunResume(context.Background(), 10,
+		func(i int) bool { return i%2 == 0 },
+		func(_ context.Context, i int) error {
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,6 +32,17 @@ type Options struct {
 	// across: 0 (the default) uses GOMAXPROCS, 1 forces the serial sweep.
 	// Tables are byte-identical at every setting.
 	Parallel int
+	// Ctx, when non-nil, cancels the sweep between runs (Ctrl-C on the
+	// CLIs); nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx resolves the sweep context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultOptions is the full-size configuration used by the benchmarks.

@@ -13,7 +13,7 @@ import (
 // setting — the pool trades wall-clock time only.
 func sweep[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
 	pool := batch.Pool{Workers: o.Parallel}
-	return batch.Map(context.Background(), pool, n, func(_ context.Context, i int) (T, error) {
+	return batch.Map(o.ctx(), pool, n, func(_ context.Context, i int) (T, error) {
 		return fn(i)
 	})
 }

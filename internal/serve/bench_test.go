@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeJSON decodes a response body and closes it.
+func decodeJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// BenchmarkServeSustained measures sustained service throughput over the
+// full HTTP path: each iteration submits a 4-item sweep (2 loss × 2 jam
+// on a 24-node crowd), polls it to done, and downloads the table. It
+// reports items/s alongside the usual ns/op, covering spec parsing,
+// admission, durable landing (fsync per item) and table folding.
+func BenchmarkServeSustained(b *testing.B) {
+	s, err := NewServer(Config{Dir: b.TempDir(), MaxQueue: b.N + 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s.Drain(ctx)
+	}()
+	const doc = `{"name": "bench", "n": 24, "channels": 3, "loss": [0, 0.1], "jam": [0, 1], "seeds": 1}`
+	const items = 4
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(doc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st jobStatus
+		if err := decodeJSON(resp, &st); err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit: status %d", resp.StatusCode)
+		}
+		for {
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := decodeJSON(resp, &st); err != nil {
+				b.Fatal(err)
+			}
+			if st.State.terminal() {
+				break
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		if st.State != StateDone {
+			b.Fatalf("job %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+		resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/table")
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("table: status %d", resp.StatusCode)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*items)/elapsed, "items/s")
+	}
+}

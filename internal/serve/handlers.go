@@ -1,0 +1,397 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"mcnet"
+)
+
+// maxSpecBytes bounds a submitted spec document; axes are short lists, so
+// anything near this size is abuse, not a sweep.
+const maxSpecBytes = 1 << 20
+
+// routes builds the HTTP surface.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /v1/jobs/{id}/table", s.handleTable)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError emits the error shape every endpoint shares.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit admits one spec document into the queue. Admission control
+// is strict and cheap: a draining server refuses (503), a full queue
+// refuses (429) before any expansion state is allocated, and an invalid
+// spec refuses (400) with the field-level cause. Accepted jobs are durable
+// before the 202 response: a daemon killed right after responding still
+// knows the job on its next boot.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading spec: %v", err)
+		return
+	}
+	spec, err := mcnet.ParseScenarioSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sw, err := spec.Compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if len(s.queue) >= cap(s.queue) {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "queue full (%d jobs); retry later", cap(s.queue))
+		return
+	}
+	id := s.store.NewID()
+	j := &job{
+		rec: JobRecord{
+			ID:        id,
+			Spec:      spec,
+			State:     StateQueued,
+			Items:     sw.Len(),
+			Submitted: time.Now().UTC(),
+		},
+		subs: make(map[chan progressEvent]struct{}),
+	}
+	if err := s.store.SaveJob(&j.rec); err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "persisting job: %v", err)
+		return
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queue <- id // capacity checked above, under s.mu
+	s.mu.Unlock()
+
+	s.cfg.Logf("serve: job %s queued (%d items)", id, j.rec.Items)
+	writeJSON(w, http.StatusAccepted, s.statusOf(j))
+}
+
+// jobStatus is the wire form of a job's current state.
+type jobStatus struct {
+	ID        string    `json:"id"`
+	State     State     `json:"state"`
+	Done      int       `json:"done"`
+	Total     int       `json:"total"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+}
+
+func (s *Server) statusOf(j *job) jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatus{
+		ID:        j.rec.ID,
+		State:     j.rec.State,
+		Done:      j.done,
+		Total:     j.rec.Items,
+		Error:     j.rec.Error,
+		Submitted: j.rec.Submitted,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]jobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.job(id); ok {
+			out = append(out, s.statusOf(j))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// pathJob resolves the {id} path segment, writing the 404 itself.
+func (s *Server) pathJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.pathJob(w, r); ok {
+		writeJSON(w, http.StatusOK, s.statusOf(j))
+	}
+}
+
+// handleCancel cancels a queued or running job. Queued jobs are skipped
+// when the executor reaches them; running jobs stop between items (the
+// landed prefix stays durable — and stays byte-identical to what an
+// uninterrupted run would have produced for those items).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pathJob(w, r)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	if j.rec.State.terminal() {
+		st := j.rec.State
+		j.mu.Unlock()
+		writeError(w, http.StatusConflict, "job already %s", st)
+		return
+	}
+	j.canceled = true
+	cancel := j.cancel
+	running := j.rec.State == StateRunning
+	if !running {
+		// The executor will skip it; make the terminal state durable now.
+		j.rec.State = StateCanceled
+		rec := j.rec
+		j.publishLocked()
+		j.mu.Unlock()
+		if err := s.store.SaveJob(&rec); err != nil {
+			s.cfg.Logf("serve: persisting cancel of job %s: %v", rec.ID, err)
+		}
+	} else {
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+	s.cfg.Logf("serve: job %s cancel requested", j.rec.ID)
+	writeJSON(w, http.StatusAccepted, s.statusOf(j))
+}
+
+// handleResults streams the job's durable NDJSON result prefix — for a
+// done job, the complete per-item log.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pathJob(w, r)
+	if !ok {
+		return
+	}
+	f, err := os.Open(s.store.ResultsPath(j.rec.ID))
+	if os.IsNotExist(err) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		return // zero items landed: empty log
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "opening results: %v", err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_, _ = io.Copy(w, f)
+}
+
+// handleTable renders the finished sweep's report table — the same bytes
+// an in-process RunScenario of the job's spec would emit. ?format=csv
+// selects the CSV form.
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pathJob(w, r)
+	if !ok {
+		return
+	}
+	j.mu.Lock()
+	st := j.rec.State
+	spec := j.rec.Spec
+	j.mu.Unlock()
+	if st != StateDone {
+		writeError(w, http.StatusConflict, "job is %s; the table exists once it is done", st)
+		return
+	}
+	sw, err := spec.Compile()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "recompiling spec: %v", err)
+		return
+	}
+	results, err := s.store.LoadResults(j.rec.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "loading results: %v", err)
+		return
+	}
+	tb, err := sw.Fold(results)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "folding results: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if r.URL.Query().Get("format") == "csv" {
+		fmt.Fprintln(w, tb.CSV())
+	} else {
+		fmt.Fprintln(w, tb.Render())
+	}
+}
+
+// handleEvents streams the job's progress as server-sent events: one
+// "progress" event per durable advance (snapshots, so a slow client skips
+// intermediates but never misses the terminal state), closing after the
+// terminal event. Connecting to a finished job yields its terminal event
+// immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pathJob(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch := make(chan progressEvent, 1)
+	j.mu.Lock()
+	j.subs[ch] = struct{}{}
+	first := j.snapshotLocked()
+	j.mu.Unlock()
+	defer func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(ev progressEvent) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return !ev.State.terminal()
+	}
+	if !writeEvent(first) {
+		return
+	}
+	keepAlive := time.NewTicker(15 * time.Second)
+	defer keepAlive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-keepAlive.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case ev := <-ch:
+			if !writeEvent(ev) {
+				return
+			}
+		}
+	}
+}
+
+// statsSnapshot is the /v1/stats document.
+type statsSnapshot struct {
+	UptimeSeconds     float64       `json:"uptime_s"`
+	Workers           int           `json:"workers"`
+	QueueDepth        int           `json:"queue_depth"`
+	QueueCapacity     int           `json:"queue_capacity"`
+	InflightItems     int64         `json:"inflight_items"`
+	WorkerUtilization float64       `json:"worker_utilization"`
+	ItemsExecuted     int64         `json:"items_executed"`
+	ItemsResumed      int64         `json:"items_resumed"`
+	RunsPerSecond     float64       `json:"runs_per_sec"`
+	Jobs              map[State]int `json:"jobs"`
+}
+
+func (s *Server) statsNow() statsSnapshot {
+	s.mu.Lock()
+	depth := len(s.queue)
+	capQ := cap(s.queue)
+	states := make(map[State]int)
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		states[j.rec.State]++
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	workers := s.cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	uptime := time.Since(s.start).Seconds()
+	executed := s.itemsExecuted.Load()
+	inflight := s.inflight.Load()
+	snap := statsSnapshot{
+		UptimeSeconds: uptime,
+		Workers:       workers,
+		QueueDepth:    depth,
+		QueueCapacity: capQ,
+		InflightItems: inflight,
+		ItemsExecuted: executed,
+		ItemsResumed:  s.itemsResumed.Load(),
+		Jobs:          states,
+	}
+	if workers > 0 {
+		snap.WorkerUtilization = float64(inflight) / float64(workers)
+	}
+	if uptime > 0 {
+		snap.RunsPerSecond = float64(executed) / uptime
+	}
+	return snap
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsNow())
+}
+
+// handleMetrics is the same snapshot in text exposition format, one
+// `mcserved_*` line per gauge or counter.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.statsNow()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "mcserved_uptime_seconds %g\n", snap.UptimeSeconds)
+	fmt.Fprintf(w, "mcserved_workers %d\n", snap.Workers)
+	fmt.Fprintf(w, "mcserved_queue_depth %d\n", snap.QueueDepth)
+	fmt.Fprintf(w, "mcserved_queue_capacity %d\n", snap.QueueCapacity)
+	fmt.Fprintf(w, "mcserved_inflight_items %d\n", snap.InflightItems)
+	fmt.Fprintf(w, "mcserved_worker_utilization %g\n", snap.WorkerUtilization)
+	fmt.Fprintf(w, "mcserved_items_executed_total %d\n", snap.ItemsExecuted)
+	fmt.Fprintf(w, "mcserved_items_resumed_total %d\n", snap.ItemsResumed)
+	fmt.Fprintf(w, "mcserved_runs_per_second %g\n", snap.RunsPerSecond)
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "mcserved_jobs{state=%q} %d\n", st, snap.Jobs[st])
+	}
+}

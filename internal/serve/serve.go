@@ -1,0 +1,399 @@
+// Package serve is the scenario sweep service: a long-running daemon layer
+// over the batch orchestrator that accepts scenario spec documents from
+// many concurrent clients, expands each into per-(grid point × seed) work
+// items, and executes them with durable, resumable progress.
+//
+// Durability is built on two module-wide invariants: work items are pure
+// functions of (spec, index), and results land by index. The service
+// persists each job's results as an append-only NDJSON log written in
+// strict index order — the log is always a contiguous durable prefix — so
+// a killed daemon resumes from the log length, recomputes only items that
+// never landed, and the completed sweep's table is byte-identical to an
+// uninterrupted run (and to an in-process mcnet.RunScenario of the same
+// spec).
+//
+// The HTTP surface is JSON over conventional verbs: POST /v1/jobs submits
+// a spec (bounded queue depth, 429 when full), GET /v1/jobs[/{id}] lists
+// and inspects, POST /v1/jobs/{id}/cancel cancels, /results downloads the
+// durable NDJSON prefix, /table renders the finished sweep, /events
+// streams progress as SSE, and /v1/stats + /metrics expose throughput,
+// queue depth and worker utilization.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcnet"
+	"mcnet/internal/batch"
+)
+
+// Config sizes a Server; the zero value serves from "mcserved-data" with
+// GOMAXPROCS workers and a queue bound of 64 jobs.
+type Config struct {
+	// Dir is the persistent state directory (default "mcserved-data").
+	Dir string
+	// Workers sizes the batch pool a running job's items execute across:
+	// 0 (the default) means GOMAXPROCS, 1 forces serial execution. It also
+	// bounds the in-flight items — the service's backpressure.
+	Workers int
+	// MaxQueue bounds the number of jobs queued or running; submissions
+	// beyond it are rejected with 429 (default 64).
+	MaxQueue int
+	// Logf, when non-nil, receives one line per significant event (boot,
+	// job transitions, drain).
+	Logf func(format string, args ...any)
+}
+
+// job is the in-memory runtime state of one job: the persisted record plus
+// live progress and SSE subscribers.
+type job struct {
+	mu       sync.Mutex
+	rec      JobRecord
+	done     int // durably landed items
+	subs     map[chan progressEvent]struct{}
+	cancel   context.CancelFunc // set while running
+	canceled bool               // user asked for cancellation
+}
+
+// progressEvent is one SSE snapshot. Every event carries the full state,
+// so subscribers can be given only the latest one without losing meaning.
+type progressEvent struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+}
+
+// snapshotLocked builds the job's current event; callers hold j.mu.
+func (j *job) snapshotLocked() progressEvent {
+	return progressEvent{
+		ID:    j.rec.ID,
+		State: j.rec.State,
+		Done:  j.done,
+		Total: j.rec.Items,
+		Error: j.rec.Error,
+	}
+}
+
+// publishLocked pushes the current snapshot to every subscriber; callers
+// hold j.mu. Subscriber channels hold only the latest snapshot: a slow
+// reader skips intermediate progress but never misses the terminal state.
+func (j *job) publishLocked() {
+	ev := j.snapshotLocked()
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// Server is the scenario sweep daemon: an http.Handler plus one executor
+// goroutine draining a persistent FIFO job queue.
+type Server struct {
+	cfg   Config
+	store *Store
+	mux   *http.ServeMux
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string    // job IDs in submission order
+	queue    chan string // FIFO of jobs awaiting the executor
+	draining bool
+
+	execCtx  context.Context
+	execStop context.CancelFunc
+	execDone chan struct{}
+
+	// Flow metrics. itemsExecuted counts items computed by this process;
+	// itemsResumed counts items recovered from durable logs instead of
+	// recomputed; inflight is the current number of executing items.
+	itemsExecuted atomic.Int64
+	itemsResumed  atomic.Int64
+	inflight      atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+}
+
+// NewServer opens (or creates) the state directory, recovers persisted
+// jobs — interrupted and queued jobs re-enter the queue in submission
+// order, with their durable result prefixes intact — and starts the
+// executor. Callers must Drain the server before discarding it.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Dir == "" {
+		cfg.Dir = "mcserved-data"
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("serve: workers = %d must be ≥ 0", cfg.Workers)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	store, err := OpenStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    store,
+		start:    time.Now(),
+		jobs:     make(map[string]*job),
+		queue:    make(chan string, cfg.MaxQueue),
+		execDone: make(chan struct{}),
+	}
+	s.execCtx, s.execStop = context.WithCancel(context.Background())
+
+	recs, err := store.LoadJobs()
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		j := &job{rec: *rec, subs: make(map[chan progressEvent]struct{})}
+		if results, err := store.LoadResults(rec.ID); err == nil {
+			j.done = len(results)
+		}
+		s.jobs[rec.ID] = j
+		s.order = append(s.order, rec.ID)
+		if !rec.State.terminal() {
+			// A job found in running was interrupted by a kill; it resumes
+			// exactly like a queued one, from its durable prefix.
+			select {
+			case s.queue <- rec.ID:
+				s.cfg.Logf("serve: recovered job %s (%s, %d/%d items durable)",
+					rec.ID, rec.State, j.done, rec.Items)
+			default:
+				// More recovered jobs than the queue bound: park the rest in
+				// queued state; they are picked up on the next boot. With
+				// MaxQueue enforced at admission this cannot happen unless
+				// the bound was lowered between runs.
+				s.cfg.Logf("serve: job %s exceeds queue bound, left for next boot", rec.ID)
+			}
+		}
+	}
+	s.mux = s.routes()
+	go s.execLoop()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops the server: no new submissions are accepted (503), the
+// running job (if any) is cancelled between items, and Drain returns when
+// the executor has flushed every landed result durably — or when ctx
+// expires. After a drain, the state directory is consistent: interrupted
+// jobs resume from their durable prefixes on the next boot.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.execStop()
+	select {
+	case <-s.execDone:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// job looks up runtime state by ID.
+func (s *Server) job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// execLoop is the executor: one job at a time, FIFO. Item-level
+// parallelism lives inside each job (Config.Workers), so one running job
+// already saturates the configured capacity; queued jobs behind it are the
+// admission-controlled backlog.
+func (s *Server) execLoop() {
+	defer close(s.execDone)
+	for {
+		select {
+		case <-s.execCtx.Done():
+			return
+		case id := <-s.queue:
+			s.runJob(id)
+		}
+	}
+}
+
+// runJob executes one job to a terminal state, resuming from its durable
+// result prefix. A drain mid-job leaves the job in running on disk — the
+// crash-equivalent state the next boot recovers from.
+func (s *Server) runJob(id string) {
+	j, ok := s.job(id)
+	if !ok {
+		return
+	}
+	jobCtx, cancel := context.WithCancel(s.execCtx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.canceled || j.rec.State.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.cancel = cancel
+	j.rec.State = StateRunning
+	rec := j.rec
+	j.publishLocked()
+	j.mu.Unlock()
+	if err := s.store.SaveJob(&rec); err != nil {
+		s.failJob(j, fmt.Errorf("persisting state: %w", err))
+		return
+	}
+	s.cfg.Logf("serve: job %s running (%d items)", id, rec.Items)
+
+	sw, err := rec.Spec.Compile()
+	if err != nil {
+		s.failJob(j, err)
+		return
+	}
+	prior, err := s.store.LoadResults(id)
+	if err != nil {
+		s.failJob(j, err)
+		return
+	}
+	if len(prior) > sw.Len() {
+		s.failJob(j, fmt.Errorf("result log holds %d items for a %d-item sweep", len(prior), sw.Len()))
+		return
+	}
+	log, err := s.store.OpenResultLog(id, len(prior))
+	if err != nil {
+		s.failJob(j, err)
+		return
+	}
+	defer log.Close()
+	s.itemsResumed.Add(int64(len(prior)))
+	j.mu.Lock()
+	j.done = len(prior)
+	j.publishLocked()
+	j.mu.Unlock()
+
+	// Results land durably in strict index order: completions ahead of the
+	// durable frontier wait in a reorder buffer (bounded by the worker
+	// count, since the pool claims indices in order). Progress events fire
+	// only for durable items — what a subscriber saw done stays done.
+	var (
+		landMu  sync.Mutex
+		pending = map[int]mcnet.RunResult{}
+		landErr error
+	)
+	land := func(i int, r mcnet.RunResult) error {
+		landMu.Lock()
+		defer landMu.Unlock()
+		if landErr != nil {
+			return landErr
+		}
+		pending[i] = r
+		flushed := false
+		for {
+			r, ok := pending[log.next]
+			if !ok {
+				break
+			}
+			idx := log.next
+			if err := log.Append(idx, r); err != nil {
+				landErr = err
+				return err
+			}
+			delete(pending, idx)
+			flushed = true
+		}
+		if flushed {
+			j.mu.Lock()
+			j.done = log.next
+			j.publishLocked()
+			j.mu.Unlock()
+		}
+		return nil
+	}
+
+	pool := batch.Pool{Workers: s.cfg.Workers}
+	results, err := batch.MapResume(jobCtx, pool, sw.Len(),
+		func(i int) (mcnet.RunResult, bool) {
+			if i < len(prior) {
+				return prior[i], true
+			}
+			return mcnet.RunResult{}, false
+		},
+		func(ctx context.Context, i int) (mcnet.RunResult, error) {
+			s.inflight.Add(1)
+			defer s.inflight.Add(-1)
+			r, err := sw.Run(ctx, i)
+			if err != nil {
+				return r, err
+			}
+			s.itemsExecuted.Add(1)
+			return r, land(i, r)
+		})
+
+	j.mu.Lock()
+	j.cancel = nil
+	j.mu.Unlock()
+
+	switch {
+	case s.execCtx.Err() != nil:
+		// Drain: leave the job in running on disk; the landed prefix is
+		// durable and the next boot resumes it.
+		s.cfg.Logf("serve: job %s interrupted by drain (%d/%d items durable)", id, log.next, sw.Len())
+	case err != nil && j.isCanceled():
+		s.finishJob(j, StateCanceled, "")
+		s.cfg.Logf("serve: job %s canceled (%d/%d items durable)", id, log.next, sw.Len())
+	case err != nil:
+		s.failJob(j, err)
+	default:
+		_ = results // landed by index; the log already holds all of them
+		s.finishJob(j, StateDone, "")
+		s.jobsDone.Add(1)
+		s.cfg.Logf("serve: job %s done (%d items)", id, sw.Len())
+	}
+}
+
+func (j *job) isCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// finishJob moves a job to a terminal state, durably.
+func (s *Server) finishJob(j *job, st State, errMsg string) {
+	j.mu.Lock()
+	j.rec.State = st
+	j.rec.Error = errMsg
+	rec := j.rec
+	j.publishLocked()
+	j.mu.Unlock()
+	if err := s.store.SaveJob(&rec); err != nil {
+		s.cfg.Logf("serve: persisting %s state of job %s: %v", st, rec.ID, err)
+	}
+}
+
+func (s *Server) failJob(j *job, cause error) {
+	s.jobsFailed.Add(1)
+	s.finishJob(j, StateFailed, cause.Error())
+	s.cfg.Logf("serve: job %s failed: %v", j.rec.ID, cause)
+}

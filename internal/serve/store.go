@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mcnet"
+)
+
+// State is a job's lifecycle state. Transitions are queued → running →
+// {done, failed, canceled}; a daemon killed while a job runs leaves it in
+// running on disk, which the next boot treats as queued — the durable
+// result prefix makes the re-run resume instead of restart.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a job in this state will never run again.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobRecord is the persisted form of one job: the submitted spec document
+// plus lifecycle metadata. It lives at jobs/<id>.json and is rewritten
+// atomically on every state change.
+type JobRecord struct {
+	ID    string             `json:"id"`
+	Spec  mcnet.ScenarioSpec `json:"spec"`
+	State State              `json:"state"`
+	// Items is the expanded work-item count (grid points × seeds).
+	Items int `json:"items"`
+	// Error carries the failure cause for StateFailed.
+	Error string `json:"error,omitempty"`
+	// Submitted is the server-assigned submission time.
+	Submitted time.Time `json:"submitted"`
+}
+
+// resultLine is one NDJSON record of a job's result log. Lines are
+// appended strictly in index order, so a result log is always the durable
+// prefix [0, lines) of the job's work items.
+type resultLine struct {
+	Index  int             `json:"index"`
+	Result mcnet.RunResult `json:"result"`
+}
+
+// Store is the on-disk job store: one JSON record and one append-only
+// NDJSON result log per job under dir/jobs. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex
+	seq int // highest job sequence number seen
+}
+
+// OpenStore creates (if needed) and opens the store rooted at dir. The
+// job-ID sequence continues from the highest ID already on disk, so IDs
+// stay unique across restarts.
+func OpenStore(dir string) (*Store, error) {
+	jobsDir := filepath.Join(dir, "jobs")
+	if err := os.MkdirAll(jobsDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: opening store: %w", err)
+	}
+	s := &Store{dir: dir}
+	entries, err := os.ReadDir(jobsDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "j") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSuffix(name, ".json"), "j%08d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+	return s, nil
+}
+
+// NewID allocates the next job ID. IDs sort lexically in allocation
+// order, so directory listings double as submission order.
+func (s *Store) NewID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return fmt.Sprintf("j%08d", s.seq)
+}
+
+func (s *Store) jobPath(id string) string {
+	return filepath.Join(s.dir, "jobs", id+".json")
+}
+
+// ResultsPath is the job's NDJSON result log location.
+func (s *Store) ResultsPath(id string) string {
+	return filepath.Join(s.dir, "jobs", id+".results.ndjson")
+}
+
+// validID guards path construction against traversal through crafted IDs.
+func validID(id string) bool {
+	if len(id) != 9 || id[0] != 'j' {
+		return false
+	}
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// SaveJob durably writes the record: temp file, fsync, atomic rename. A
+// crash leaves either the old record or the new one, never a torn file.
+func (s *Store) SaveJob(rec *JobRecord) error {
+	if !validID(rec.ID) {
+		return fmt.Errorf("serve: invalid job id %q", rec.ID)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: encoding job %s: %w", rec.ID, err)
+	}
+	path := s.jobPath(rec.ID)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: saving job %s: %w", rec.ID, err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: saving job %s: %w", rec.ID, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: saving job %s: %w", rec.ID, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: saving job %s: %w", rec.ID, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serve: saving job %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// LoadJob reads one job record.
+func (s *Store) LoadJob(id string) (*JobRecord, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("serve: invalid job id %q", id)
+	}
+	data, err := os.ReadFile(s.jobPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading job %s: %w", id, err)
+	}
+	var rec JobRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("serve: decoding job %s: %w", id, err)
+	}
+	return &rec, nil
+}
+
+// LoadJobs reads every job record, sorted by ID (= submission order).
+// Records that fail to decode are skipped — one corrupt job must not take
+// the daemon down with it.
+func (s *Store) LoadJobs() ([]*JobRecord, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: listing jobs: %w", err)
+	}
+	var recs []*JobRecord
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		if !validID(id) {
+			continue
+		}
+		rec, err := s.LoadJob(id)
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs, nil
+}
+
+// LoadResults reads the job's durable result prefix. The log is scanned
+// line by line: each complete line must decode to the next expected index,
+// and the first torn or out-of-sequence line ends the prefix — the file is
+// truncated back to the last durable line, so a crash mid-append (a torn
+// tail) costs exactly the item that was being written, which the resumed
+// run recomputes deterministically. A missing log means zero results.
+func (s *Store) LoadResults(id string) ([]mcnet.RunResult, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("serve: invalid job id %q", id)
+	}
+	path := s.ResultsPath(id)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading results of %s: %w", id, err)
+	}
+	var results []mcnet.RunResult
+	offset := 0 // byte offset of the durable prefix end
+	for offset < len(data) {
+		nl := -1
+		for k := offset; k < len(data); k++ {
+			if data[k] == '\n' {
+				nl = k
+				break
+			}
+		}
+		if nl < 0 {
+			break // torn tail: line never finished
+		}
+		var line resultLine
+		if err := json.Unmarshal(data[offset:nl], &line); err != nil || line.Index != len(results) {
+			break // corrupt or out-of-sequence: prefix ends here
+		}
+		results = append(results, line.Result)
+		offset = nl + 1
+	}
+	if offset < len(data) {
+		if err := os.Truncate(path, int64(offset)); err != nil {
+			return nil, fmt.Errorf("serve: repairing results of %s: %w", id, err)
+		}
+	}
+	return results, nil
+}
+
+// ResultLog appends result lines to a job's log in strict index order.
+type ResultLog struct {
+	f    *os.File
+	next int
+}
+
+// OpenResultLog opens the job's log for appending; next is the index the
+// first Append must carry — the length of the durable prefix LoadResults
+// returned. Callers must have run LoadResults first so any torn tail has
+// been truncated away.
+func (s *Store) OpenResultLog(id string, next int) (*ResultLog, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("serve: invalid job id %q", id)
+	}
+	f, err := os.OpenFile(s.ResultsPath(id), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening result log of %s: %w", id, err)
+	}
+	return &ResultLog{f: f, next: next}, nil
+}
+
+// Append durably writes one result line. The index must be exactly the
+// next in sequence — the executor's reorder buffer guarantees it — so the
+// log stays a contiguous prefix and resume-from-length stays sound. The
+// line is fsynced before Append returns: once a progress event reports an
+// item done, a crash cannot un-do it.
+func (rl *ResultLog) Append(index int, r mcnet.RunResult) error {
+	if index != rl.next {
+		return fmt.Errorf("serve: result log append index %d, want %d", index, rl.next)
+	}
+	data, err := json.Marshal(resultLine{Index: index, Result: r})
+	if err != nil {
+		return fmt.Errorf("serve: encoding result %d: %w", index, err)
+	}
+	if _, err := rl.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("serve: appending result %d: %w", index, err)
+	}
+	if err := rl.f.Sync(); err != nil {
+		return fmt.Errorf("serve: syncing result %d: %w", index, err)
+	}
+	rl.next++
+	return nil
+}
+
+// Close releases the log's file handle.
+func (rl *ResultLog) Close() error { return rl.f.Close() }

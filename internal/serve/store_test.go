@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"mcnet"
+)
+
+func testSpec(t *testing.T, doc string) mcnet.ScenarioSpec {
+	t.Helper()
+	sp, err := mcnet.ParseScenarioSpec([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestStoreJobRoundTrip: records survive save/load, list in submission
+// order, and the ID sequence continues across a reopen.
+func TestStoreJobRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(t, `{"n": 16, "loss": [0, 0.1]}`)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		rec := &JobRecord{
+			ID:        s.NewID(),
+			Spec:      spec,
+			State:     StateQueued,
+			Items:     2,
+			Submitted: time.Unix(1700000000+int64(i), 0).UTC(),
+		}
+		if err := s.SaveJob(rec); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, rec.ID)
+	}
+	recs, err := s.LoadJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("loaded %d jobs, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.ID != ids[i] {
+			t.Errorf("job %d has ID %s, want %s (submission order)", i, rec.ID, ids[i])
+		}
+		if rec.Spec.N != 16 || rec.State != StateQueued {
+			t.Errorf("job %s lost fields: %+v", rec.ID, rec)
+		}
+	}
+
+	// Reopening must not reuse IDs.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := s2.NewID()
+	for _, id := range ids {
+		if next == id {
+			t.Fatalf("reopened store reissued ID %s", id)
+		}
+	}
+}
+
+// TestStoreRejectsBadIDs: crafted IDs cannot traverse out of the store.
+func TestStoreRejectsBadIDs(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "..", "../../etc", "j1234567x", "jjjjjjjjj", "j123"} {
+		if err := s.SaveJob(&JobRecord{ID: id}); err == nil {
+			t.Errorf("SaveJob accepted ID %q", id)
+		}
+		if _, err := s.LoadResults(id); err == nil {
+			t.Errorf("LoadResults accepted ID %q", id)
+		}
+	}
+}
+
+// TestResultLogPrefixAndTornTail: the log is a strict in-order prefix; a
+// torn tail (crash mid-append) is truncated away on load and appending
+// resumes at the durable frontier.
+func TestResultLogPrefixAndTornTail(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.NewID()
+	log, err := s.OpenResultLog(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := log.Append(i, mcnet.RunResult{Informed: 10 + i, Nodes: 16}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Out-of-order appends are a bug, not data.
+	if err := log.Append(5, mcnet.RunResult{}); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a torn, unterminated tail line.
+	f, err := os.OpenFile(s.ResultsPath(id), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":3,"result":{"torntail`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	results, err := s.LoadResults(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("durable prefix has %d items, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.Informed != 10+i {
+			t.Errorf("result %d = %+v, want Informed %d", i, r, 10+i)
+		}
+	}
+
+	// The torn tail is gone from disk and appending continues cleanly.
+	data, err := os.ReadFile(s.ResultsPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "torntail") {
+		t.Error("torn tail survived repair")
+	}
+	log2, err := s.OpenResultLog(id, len(results))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Append(3, mcnet.RunResult{Informed: 13, Nodes: 16}); err != nil {
+		t.Fatal(err)
+	}
+	log2.Close()
+	results, err = s.LoadResults(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 || results[3].Informed != 13 {
+		t.Fatalf("after repair+append: %d items (%+v), want 4", len(results), results)
+	}
+}
+
+// TestLoadResultsMissing: a job with no log has an empty durable prefix.
+func TestLoadResultsMissing(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.LoadResults(s.NewID())
+	if err != nil || len(results) != 0 {
+		t.Fatalf("missing log: results %v, err %v; want empty, nil", results, err)
+	}
+}

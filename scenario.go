@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"mcnet/internal/batch"
 	"mcnet/internal/fault"
 	"mcnet/internal/stats"
 )
@@ -98,15 +99,79 @@ func validJamModel(m JamModel) bool {
 	return fm == fault.JamOblivious || fm == fault.JamRoundRobin
 }
 
-// RunScenario executes the scenario's full fault grid and returns the
-// report: one row per (loss, jam, churn) point with median latencies and
-// informed / exact / surviving-exact rates across seeds. The sweep is a
-// deterministic function of the scenario — two consecutive runs emit
-// identical tables, at any Workers setting — and runs execute across a
-// worker pool, sharing one deployment construction per seed across all
-// grid points. The sweep aborts promptly with ctx.Err() if ctx is
-// cancelled, including between the seed repetitions of a single point.
-func RunScenario(ctx context.Context, sc Scenario) (*Table, error) {
+// RunResult is the serializable summary of one sweep run — exactly the
+// fields a scenario's table fold consumes, so a table rebuilt from
+// persisted RunResults is byte-identical to one folded from the live
+// *AggregateResults. The scenario service stores one RunResult per
+// completed (grid point × seed) item in its NDJSON result logs.
+type RunResult struct {
+	// Informed and Exact count nodes that learned some aggregate / the
+	// exact fold; Nodes is the deployment size.
+	Informed int `json:"informed"`
+	Exact    int `json:"exact"`
+	Nodes    int `json:"nodes"`
+	// AckSlots and AggSlots are the event-measured aggregation latencies
+	// (see AggregateResult).
+	AckSlots int `json:"ack_slots"`
+	AggSlots int `json:"agg_slots"`
+	// Faulted records that the run carried a fault layer; the remaining
+	// fields summarize its FaultReport and are zero otherwise.
+	Faulted           bool `json:"faulted,omitempty"`
+	Lost              int  `json:"lost,omitempty"`
+	Crashed           int  `json:"crashed,omitempty"`
+	Survivors         int  `json:"survivors,omitempty"`
+	SurvivorsAgreeing int  `json:"survivors_agreeing,omitempty"`
+}
+
+// SummarizeRun condenses an AggregateResult into the RunResult form a
+// scenario fold consumes.
+func SummarizeRun(res *AggregateResult) RunResult {
+	rr := RunResult{
+		Informed: res.Informed,
+		Exact:    res.Exact,
+		Nodes:    len(res.Nodes),
+		AckSlots: res.AckSlots,
+		AggSlots: res.AggSlots,
+	}
+	if fr := res.Faults; fr != nil {
+		rr.Faulted = true
+		rr.Lost = fr.Lost
+		rr.Crashed = len(fr.CrashedNodes)
+		rr.Survivors = fr.Survivors
+		rr.SurvivorsAgreeing = fr.SurvivorsAgreeing
+	}
+	return rr
+}
+
+// Sweep is a compiled scenario: the validated, flattened (grid point ×
+// seed) work items plus the fold that turns their results into the report
+// table. RunScenario and the scenario service share it, which is what
+// makes a served sweep's table byte-identical to an in-process run — both
+// execute the same Run items in the same index order and fold the same
+// RunResult records.
+//
+// Run is safe for concurrent use from multiple goroutines and may be
+// called for any subset of indices in any order (a resumed sweep re-runs
+// only the items that never landed); results are pure functions of
+// (scenario, index).
+type Sweep struct {
+	name     string
+	n        int
+	seeds    int
+	baseSeed uint64
+	jamModel JamModel
+	loss     []float64
+	jam      []int
+	churn    []float64
+	specs    []RunSpec
+	deploy   *deploySet
+}
+
+// Compile validates the scenario and expands it into its sweep: one
+// RunSpec per (loss, jam, churn, repetition) in nested-loop order. The
+// scenario's Workers and Progress fields are execution knobs and are not
+// part of the compiled sweep.
+func (sc Scenario) Compile() (*Sweep, error) {
 	if sc.N < 2 {
 		return nil, fmt.Errorf("mcnet: scenario n = %d must be ≥ 2", sc.N)
 	}
@@ -161,38 +226,76 @@ func RunScenario(ctx context.Context, sc Scenario) (*Table, error) {
 			}
 		}
 	}
-	results, err := RunBatch(ctx, sc.N, sc.Options, specs, BatchOptions{
-		Workers:  sc.Workers,
-		Progress: sc.Progress,
-	})
-	if err != nil {
-		return nil, err
-	}
+	return &Sweep{
+		name:     name,
+		n:        sc.N,
+		seeds:    seeds,
+		baseSeed: baseSeed,
+		jamModel: sc.JamModel,
+		loss:     loss,
+		jam:      jam,
+		churn:    churn,
+		specs:    specs,
+		deploy:   newDeploySet(sc.N, sc.Options, specs),
+	}, nil
+}
 
+// Len is the number of work items: grid points × seeds.
+func (sw *Sweep) Len() int { return len(sw.specs) }
+
+// Specs returns a copy of the expanded work items, indexed like Run.
+func (sw *Sweep) Specs() []RunSpec {
+	return append([]RunSpec(nil), sw.specs...)
+}
+
+// Run executes work item i and returns its summary. Items are independent
+// and deterministic: any execution order, worker count or process restart
+// yields the same RunResult for the same index. Deployments are shared per
+// seed within one Sweep, so calling Run for many items costs one Network
+// construction per distinct seed.
+func (sw *Sweep) Run(ctx context.Context, i int) (RunResult, error) {
+	if i < 0 || i >= len(sw.specs) {
+		return RunResult{}, fmt.Errorf("mcnet: sweep item %d out of range [0, %d)", i, len(sw.specs))
+	}
+	res, err := sw.deploy.run(ctx, sw.specs[i])
+	if err != nil {
+		return RunResult{}, err
+	}
+	return SummarizeRun(res), nil
+}
+
+// Fold renders the sweep's report table from one RunResult per item,
+// indexed like Run. It is a pure function of (sweep, results): folding
+// persisted results after a restart emits exactly the table an
+// uninterrupted run would have.
+func (sw *Sweep) Fold(results []RunResult) (*Table, error) {
+	if len(results) != len(sw.specs) {
+		return nil, fmt.Errorf("mcnet: sweep fold got %d results, want %d", len(results), len(sw.specs))
+	}
 	t := stats.NewTable(
-		fmt.Sprintf("%s: fault sweep (n=%d, %d seeds/point)", name, sc.N, seeds),
+		fmt.Sprintf("%s: fault sweep (n=%d, %d seeds/point)", sw.name, sw.n, sw.seeds),
 		"loss", "jam", "churn", "informed", "exact", "surv_agree", "lost", "crashed", "ack_slots", "agg_slots")
 	idx := 0
-	for _, lp := range loss {
-		for _, k := range jam {
-			for _, cr := range churn {
+	for _, lp := range sw.loss {
+		for _, k := range sw.jam {
+			for _, cr := range sw.churn {
 				var acks, aggs []float64
 				informed, exact, total := 0, 0, 0
 				survAgree, survivors := 0, 0
 				lost, crashed := 0, 0
-				for rep := 0; rep < seeds; rep++ {
+				for rep := 0; rep < sw.seeds; rep++ {
 					res := results[idx]
 					idx++
 					informed += res.Informed
 					exact += res.Exact
-					total += len(res.Nodes)
+					total += res.Nodes
 					acks = append(acks, float64(res.AckSlots))
 					aggs = append(aggs, float64(res.AggSlots))
-					if fr := res.Faults; fr != nil {
-						survAgree += fr.SurvivorsAgreeing
-						survivors += fr.Survivors
-						lost += fr.Lost
-						crashed += len(fr.CrashedNodes)
+					if res.Faulted {
+						survAgree += res.SurvivorsAgreeing
+						survivors += res.Survivors
+						lost += res.Lost
+						crashed += res.Crashed
 					}
 				}
 				t.AddRow(
@@ -205,8 +308,32 @@ func RunScenario(ctx context.Context, sc Scenario) (*Table, error) {
 		}
 	}
 	t.AddNote("jam model: %s; seeds %d..%d; surv_agree = largest consensus among informed survivors",
-		fault.JamModel(sc.JamModel), baseSeed, baseSeed+uint64(seeds)-1)
+		fault.JamModel(sw.jamModel), sw.baseSeed, sw.baseSeed+uint64(sw.seeds)-1)
 	return &Table{t: t}, nil
+}
+
+// RunScenario executes the scenario's full fault grid and returns the
+// report: one row per (loss, jam, churn) point with median latencies and
+// informed / exact / surviving-exact rates across seeds. The sweep is a
+// deterministic function of the scenario — two consecutive runs emit
+// identical tables, at any Workers setting — and runs execute across a
+// worker pool, sharing one deployment construction per seed across all
+// grid points. The sweep aborts promptly with ctx.Err() if ctx is
+// cancelled, including between the seed repetitions of a single point.
+func RunScenario(ctx context.Context, sc Scenario) (*Table, error) {
+	if sc.Workers < 0 {
+		return nil, fmt.Errorf("mcnet: batch workers = %d must be ≥ 0", sc.Workers)
+	}
+	sw, err := sc.Compile()
+	if err != nil {
+		return nil, err
+	}
+	pool := batch.Pool{Workers: sc.Workers, Progress: sc.Progress}
+	results, err := batch.Map(ctx, pool, sw.Len(), sw.Run)
+	if err != nil {
+		return nil, err
+	}
+	return sw.Fold(results)
 }
 
 func scenarioPct(a, b int) string {

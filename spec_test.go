@@ -1,0 +1,221 @@
+package mcnet
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestScenarioSpecGoldenRoundTrip: the document form is stable — a fully
+// populated spec marshals to exactly the golden JSON, and the golden JSON
+// parses back to the same spec.
+func TestScenarioSpecGoldenRoundTrip(t *testing.T) {
+	sp := ScenarioSpec{
+		Name:          "storm",
+		N:             64,
+		Topology:      "uniform",
+		TopologyParam: 10,
+		Channels:      6,
+		Loss:          []float64{0, 0.1},
+		Jam:           []int{0, 2},
+		Churn:         []float64{0.05},
+		JamModel:      "roundrobin",
+		Seeds:         3,
+		BaseSeed:      7,
+		Op:            "max",
+	}
+	data, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"name":"storm","n":64,"topology":"uniform","topology_param":10,` +
+		`"channels":6,"loss":[0,0.1],"jam":[0,2],"churn":[0.05],` +
+		`"jam_model":"roundrobin","seeds":3,"base_seed":7,"op":"max"}`
+	if string(data) != golden {
+		t.Fatalf("marshal drifted from golden document:\n got %s\nwant %s", data, golden)
+	}
+	back, err := ParseScenarioSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(round) != golden {
+		t.Fatalf("round trip drifted:\n got %s\nwant %s", round, golden)
+	}
+}
+
+// TestScenarioSpecDefaults: the minimal document is runnable and fills
+// Scenario defaults (crowd topology, 4 channels, sum, oblivious).
+func TestScenarioSpecDefaults(t *testing.T) {
+	sp, err := ParseScenarioSpec([]byte(`{"n": 16}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sp.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.N != 16 || sc.Op.Name() != "sum" || sc.JamModel != JamOblivious {
+		t.Fatalf("defaults not applied: %+v", sc)
+	}
+	sw, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Len() != 1 {
+		t.Fatalf("minimal spec expands to %d items, want 1", sw.Len())
+	}
+}
+
+// TestScenarioSpecFieldErrors: every invalid field is rejected with a
+// message naming that field.
+func TestScenarioSpecFieldErrors(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want string
+	}{
+		{`{"n": 1}`, `"n"`},
+		{`{"n": 16, "loss": [0, 1.5]}`, `"loss[1]"`},
+		{`{"n": 16, "jam": [-1]}`, `"jam[0]"`},
+		{`{"n": 16, "channels": 2, "jam": [0, 2]}`, `"jam[1]"`},
+		{`{"n": 16, "churn": [2]}`, `"churn[0]"`},
+		{`{"n": 16, "jam_model": "psychic"}`, `"jam_model"`},
+		{`{"n": 16, "op": "median"}`, `"op"`},
+		{`{"n": 16, "topology": "torus"}`, `"topology"`},
+		{`{"n": 16, "topology": "grid", "topology_param": 3}`, `"topology_param"`},
+		{`{"n": 16, "topology": "line", "topology_param": 1.5}`, `"topology_param"`},
+		{`{"n": 16, "seeds": -1}`, `"seeds"`},
+		{`{"n": 16, "bogus": true}`, `bogus`},
+		{`{"n": 16} {"n": 8}`, `trailing`},
+	}
+	for _, c := range cases {
+		_, err := ParseScenarioSpec([]byte(c.doc))
+		if err == nil {
+			t.Errorf("doc %s accepted, want error mentioning %s", c.doc, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("doc %s: error %q does not mention %s", c.doc, err, c.want)
+		}
+	}
+}
+
+// TestRunSpecGoldenRoundTrip: RunSpec's wire form is stable and
+// round-trips through names for the jam model, aggregate and churn.
+func TestRunSpecGoldenRoundTrip(t *testing.T) {
+	rs := RunSpec{
+		Seed:     9,
+		Loss:     0.25,
+		Jam:      1,
+		JamModel: JamRoundRobin,
+		Churn:    ChurnSpec{CrashAt: map[int]int{3: 40}, Rate: 0.1, From: 8, Until: 64},
+		Faulted:  true,
+		Values:   []int64{5, -2, 7},
+		Op:       Max,
+	}
+	data, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"seed":9,"loss":0.25,"jam":1,"jam_model":"roundrobin",` +
+		`"churn":{"crash_at":{"3":40},"rate":0.1,"from":8,"until":64},` +
+		`"faulted":true,"values":[5,-2,7],"op":"max"}`
+	if string(data) != golden {
+		t.Fatalf("marshal drifted from golden document:\n got %s\nwant %s", data, golden)
+	}
+	var back RunSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	round, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(round) != golden {
+		t.Fatalf("round trip drifted:\n got %s\nwant %s", round, golden)
+	}
+	if back.Op.Name() != "max" || back.JamModel != JamRoundRobin || back.Churn.CrashAt[3] != 40 {
+		t.Fatalf("decoded spec lost fields: %+v", back)
+	}
+
+	// The zero spec stays minimal on the wire.
+	minimal, err := json.Marshal(RunSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(minimal) != `{"seed":1}` {
+		t.Fatalf("zero spec marshals to %s, want {\"seed\":1}", minimal)
+	}
+}
+
+// TestRunSpecErrors: bad wire documents name the offending field, and a
+// custom aggregator refuses to serialize rather than emitting a document
+// that cannot round-trip.
+func TestRunSpecErrors(t *testing.T) {
+	for _, c := range []struct{ doc, want string }{
+		{`{"seed": 1, "loss": -0.5}`, `"loss"`},
+		{`{"seed": 1, "jam": -2}`, `"jam"`},
+		{`{"seed": 1, "jam_model": "psychic"}`, `"jam_model"`},
+		{`{"seed": 1, "churn": {"rate": 3}}`, `"churn.rate"`},
+		{`{"seed": 1, "op": "median"}`, `"op"`},
+		{`{"seed": 1, "bogus": 2}`, `bogus`},
+	} {
+		var rs RunSpec
+		err := json.Unmarshal([]byte(c.doc), &rs)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("doc %s: err %v, want mention of %s", c.doc, err, c.want)
+		}
+	}
+
+	custom := NewAggregator("xor", 0, func(a, b int64) int64 { return a ^ b })
+	if _, err := json.Marshal(RunSpec{Seed: 1, Op: custom}); err == nil {
+		t.Error("custom aggregator serialized; want error")
+	}
+}
+
+// TestSpecSweepMatchesRunScenario: compiling a spec document and folding
+// its item results yields byte-for-byte the table RunScenario emits for
+// the equivalent Scenario — the identity the scenario service's
+// durability guarantee is built on.
+func TestSpecSweepMatchesRunScenario(t *testing.T) {
+	sp, err := ParseScenarioSpec([]byte(
+		`{"name": "svc", "n": 24, "channels": 3, "loss": [0, 0.1], "jam": [0, 1], "seeds": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sp.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunScenario(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sw, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the items out of order, as a resumed service would.
+	results := make([]RunResult, sw.Len())
+	for i := sw.Len() - 1; i >= 0; i-- {
+		results[i], err = sw.Run(context.Background(), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := sw.Fold(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != want.Render() {
+		t.Errorf("sweep fold differs from RunScenario:\n%s\n---\n%s", got.Render(), want.Render())
+	}
+	if got.CSV() != want.CSV() {
+		t.Errorf("sweep fold CSV differs from RunScenario")
+	}
+}
