@@ -189,5 +189,6 @@ func (nw *Network) withFaults(spec fault.Spec) (*Network, error) {
 		cellFrac:    nw.cellFrac,
 		faults:      spec,
 		faulted:     true,
+		colorer:     nw.colorer,
 	}, nil
 }

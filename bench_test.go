@@ -52,3 +52,9 @@ func BenchmarkA1BackoffAblation(b *testing.B) { benchExperiment(b, "a1") }
 func BenchmarkA2TDMAAblation(b *testing.B) { benchExperiment(b, "a2") }
 
 func BenchmarkA3ChannelSpreadAblation(b *testing.B) { benchExperiment(b, "a3") }
+
+func BenchmarkC1ColorHeadToHead(b *testing.B) { benchExperiment(b, "c1") }
+
+func BenchmarkC2ColorScaling(b *testing.B) { benchExperiment(b, "c2") }
+
+func BenchmarkC3ColorChurn(b *testing.B) { benchExperiment(b, "c3") }

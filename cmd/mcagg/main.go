@@ -35,8 +35,9 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 	fs := flag.NewFlagSet("mcagg", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		exp        = fs.String("exp", "all", "experiment id: e1..e10, a1..a3 or all")
+		exp        = fs.String("exp", "all", "experiment id: e1..e10, a1..a3, f1..f3, c1..c3 or all")
 		seeds      = fs.Int("seeds", 3, "repetitions per sweep point")
+		colorer    = fs.String("colorer", "", "comma-separated coloring backends for the c-series head-to-heads (default all: "+strings.Join(mcnet.ColorerNames(), ",")+")")
 		quick      = fs.Bool("quick", false, "shrink sweeps for a fast run")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel   = fs.Int("parallel", 0, "worker-pool size for multi-seed sweeps (0 = GOMAXPROCS, 1 = serial)")
@@ -81,7 +82,27 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 	// stops, profiles are still flushed by fatal, and the exit is non-zero.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick, Parallel: *parallel}
+	var colorers []string
+	if *colorer != "" {
+		valid := make(map[string]bool)
+		for _, name := range mcnet.ColorerNames() {
+			valid[name] = true
+		}
+		for _, name := range strings.Split(*colorer, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !valid[name] {
+				fmt.Fprintf(errOut, "mcagg: unknown coloring backend %q (valid: %s)\n",
+					name, strings.Join(mcnet.ColorerNames(), ", "))
+				fatal(2)
+				return
+			}
+			colorers = append(colorers, name)
+		}
+	}
+	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick, Parallel: *parallel, Colorers: colorers}
 	var tables []*mcnet.Table
 	if strings.EqualFold(*exp, "all") {
 		ts, err := mcnet.AllExperimentsContext(ctx, o)

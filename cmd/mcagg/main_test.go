@@ -42,8 +42,54 @@ func TestRunUnknownExperiment(t *testing.T) {
 	if !strings.Contains(msg, "e10") || !strings.Contains(msg, "a1") {
 		t.Errorf("error does not list valid ids: %q", msg)
 	}
+	for _, id := range []string{"c1", "c2", "c3"} {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error does not list the c-series id %q: %q", id, msg)
+		}
+	}
 	if buf.Len() != 0 {
 		t.Errorf("error leaked to stdout: %q", buf.String())
+	}
+}
+
+// TestRunColorerValidation: an unknown backend in -colorer exits 2 with the
+// valid names; a valid subset runs the c-series restricted to it.
+func TestRunColorerValidation(t *testing.T) {
+	var buf, errBuf bytes.Buffer
+	exitCode := -1
+	run([]string{"-exp", "c1", "-colorer", "rainbow"}, &buf, &errBuf, func(c int) { exitCode = c })
+	if exitCode != 2 {
+		t.Errorf("exit code %d, want 2", exitCode)
+	}
+	msg := errBuf.String()
+	if !strings.Contains(msg, "rainbow") || !strings.Contains(msg, "sec7") {
+		t.Errorf("unhelpful error: %q", msg)
+	}
+}
+
+// TestRunCSeriesSubset runs c1 restricted to one backend: the table must
+// contain only that backend's rows.
+func TestRunCSeriesSubset(t *testing.T) {
+	var buf, errBuf bytes.Buffer
+	exitCode := -1
+	run([]string{"-exp", "c1", "-quick", "-seeds", "1", "-colorer", "dplus1"},
+		&buf, &errBuf, func(c int) { exitCode = c })
+	if exitCode != -1 {
+		t.Fatalf("exit code %d: %s", exitCode, errBuf.String())
+	}
+	// Scan table rows only: the explanatory notes may name other backends.
+	var rows []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "note:") {
+			rows = append(rows, line)
+		}
+	}
+	out := strings.Join(rows, "\n")
+	if !strings.Contains(out, "dplus1") {
+		t.Errorf("missing dplus1 rows:\n%s", out)
+	}
+	if strings.Contains(out, "hsb") || strings.Contains(out, "sec7") {
+		t.Errorf("table contains unrequested backends:\n%s", out)
 	}
 }
 

@@ -24,8 +24,24 @@
 // Aggregate and Color honor context cancellation, results carry per-stage
 // budgets vs. observed completion events plus channel utilization, and
 // Events streams per-node milestones live. RunExperiment exposes the
-// evaluation suite (E1–E10, ablations A1–A3, fault sweeps F1–F3) that
-// regenerates the paper's claimed bounds.
+// evaluation suite (E1–E10, ablations A1–A3, fault sweeps F1–F3, coloring
+// head-to-heads C1–C3) that regenerates the paper's claimed bounds.
+//
+// # Coloring backends
+//
+// Color is pluggable: the Colorer option selects among three distributed
+// coloring protocols behind one interface (ColorerNames lists them), all
+// running on the same simulation engine, so every backend inherits
+// determinism, cancellation, event streaming and the fault layer. "sec7"
+// (the default) is the paper's Sec. 7 cluster-based algorithm, whose
+// transcript is pinned bit-for-bit by a golden test; "dplus1" is a
+// degree+1 list coloring that guarantees each node's color is at most its
+// degree (palette ≤ Δ+1); "hsb" is a hypergraph-symmetry-breaking
+// multi-channel assignment whose colors are (slot, channel) pairs — F
+// colors share each TDMA slot on distinct channels, shrinking the cycle
+// to ⌈palette/F⌉. ColorResult.Backend, Palette, Cycle and Rounds make
+// the backends comparable; ScenarioSpec's "colorer" field pins one on the
+// wire, and experiments c1–c3 print the head-to-heads.
 //
 // # Fault injection
 //

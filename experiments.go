@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mcnet/internal/coloring"
 	"mcnet/internal/expt"
 	"mcnet/internal/stats"
 )
@@ -25,6 +26,10 @@ type ExperimentOptions struct {
 	// runs execute across: 0 (the default) uses GOMAXPROCS, 1 forces the
 	// serial sweep. Tables are byte-identical at every setting.
 	Parallel int
+	// Colorers restricts the c-series coloring head-to-heads (c1..c3) to a
+	// subset of backend names (see ColorerNames); empty means every
+	// backend. Other experiments ignore it.
+	Colorers []string
 }
 
 // Table is a rendered experiment result.
@@ -40,10 +45,11 @@ func (t *Table) CSV() string { return t.t.CSV() }
 
 // ExperimentIDs lists the runnable experiment identifiers: the evaluation
 // suite e1..e10 (one per claimed bound of the paper), the ablations a1..a3,
-// and the fault sweeps f1..f3 (message loss, jamming, churn). Use
+// the fault sweeps f1..f3 (message loss, jamming, churn), and the coloring
+// backend head-to-heads c1..c3 (topology suite, scaling, churn). Use
 // AllExperiments for the whole e-suite in one call.
 func ExperimentIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3", "f1", "f2", "f3"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3", "f1", "f2", "f3", "c1", "c2", "c3"}
 }
 
 // RunExperiment executes one experiment by id (see ExperimentIDs) and
@@ -61,7 +67,12 @@ func RunExperimentContext(ctx context.Context, id string, o ExperimentOptions) (
 		return nil, fmt.Errorf("mcnet: %w %q (valid: %s; use AllExperiments for the suite)",
 			ErrUnknownExperiment, id, strings.Join(ExperimentIDs(), ", "))
 	}
-	tb, err := runner(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel, Ctx: ctx})
+	for _, name := range o.Colorers {
+		if _, err := coloring.ByName(name); err != nil {
+			return nil, fmt.Errorf("mcnet: %w", err)
+		}
+	}
+	tb, err := runner(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel, Ctx: ctx, Colorers: o.Colorers})
 	if err != nil {
 		return nil, err
 	}

@@ -40,10 +40,10 @@ func TestRunExperimentUnknown(t *testing.T) {
 // TestExperimentIDs: the advertised id list is stable and complete.
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 16 {
-		t.Fatalf("len(ExperimentIDs) = %d, want 16", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("len(ExperimentIDs) = %d, want 19", len(ids))
 	}
-	for _, want := range []string{"e1", "e10", "a3", "f1", "f3"} {
+	for _, want := range []string{"e1", "e10", "a3", "f1", "f3", "c1", "c3"} {
 		found := false
 		for _, id := range ids {
 			if id == want {

@@ -1,0 +1,198 @@
+package coloring
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"mcnet/internal/fault"
+	"mcnet/internal/geo"
+	"mcnet/internal/graph"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+	"mcnet/internal/topology"
+)
+
+func TestByNameRegistry(t *testing.T) {
+	for _, name := range Names() {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, b.Name())
+		}
+	}
+	if b, err := ByName(""); err != nil || b.Name() != "sec7" {
+		t.Errorf("ByName(\"\") = %v, %v; want the sec7 default", b, err)
+	}
+	if _, err := ByName("rainbow"); err == nil {
+		t.Error("ByName(\"rainbow\") succeeded, want error")
+	}
+}
+
+// backendCase is one deployment of the cross-backend correctness suite.
+type backendCase struct {
+	name string
+	f    int
+	pos  []geo.Point
+}
+
+// backendCases spans the topology families at mixed channel counts: a dense
+// single-cluster crowd, a bounded-degree uniform field, a perturbed grid, a
+// line and a ring.
+func backendCases() []backendCase {
+	g := model.Default(4, 64) // geometry only: R_ε and r_c are channel-independent
+	ringN := 24
+	ringSpacing := 0.7 * g.REps()
+	return []backendCase{
+		{"crowd40_f4", 4, topology.Crowd(topology.LayoutRand(11), 40, g.ClusterRadius())},
+		{"uniform64_f4", 4, topology.UniformDegree(topology.LayoutRand(3), 64, g.REps(), 12)},
+		{"grid49_f2", 2, topology.PerturbedGrid(topology.LayoutRand(5), 49, 0.5*g.REps(), 0.1*g.REps())},
+		{"line32_f4", 4, topology.Line(32, 0.7*g.REps())},
+		{"ring24_f2", 2, topology.Ring(ringN, float64(ringN)*ringSpacing/(2*math.Pi))},
+	}
+}
+
+// runBackend executes one backend over a deployment with n̂ = n (the
+// substrate's collision-free regime, matching the facade default).
+func runBackend(t *testing.T, b Colorer, tc backendCase, seed uint64) ([]Result, Stats, model.Params) {
+	t.Helper()
+	p := model.Default(tc.f, len(tc.pos))
+	e := sim.NewEngine(phy.NewField(p, tc.pos), seed)
+	res, st, err := b.Color(context.Background(), e, nil)
+	if err != nil {
+		t.Fatalf("%s/seed %d: %v", tc.name, seed, err)
+	}
+	return res, st, p
+}
+
+// TestDPlus1ProperAcrossSuite checks the degree+1 backend on every topology
+// family at several seeds: proper, complete, and every node's color within
+// its private degree+1 palette.
+func TestDPlus1ProperAcrossSuite(t *testing.T) {
+	for _, tc := range backendCases() {
+		for _, seed := range []uint64{1, 2, 3} {
+			res, st, p := runBackend(t, DPlus1{}, tc, seed)
+			conflicts, uncolored, palette := Validate(tc.pos, p.REps(), res)
+			if conflicts != 0 || uncolored != 0 {
+				t.Errorf("%s/seed %d: %d conflicts, %d uncolored", tc.name, seed, conflicts, uncolored)
+			}
+			g := graph.Build(tc.pos, p.REps())
+			maxColor := -1
+			for i, r := range res {
+				if r.Color > g.Degree(i) {
+					t.Errorf("%s/seed %d: node %d color %d exceeds its degree+1 palette (deg %d)",
+						tc.name, seed, i, r.Color, g.Degree(i))
+				}
+				if r.Index != r.Color || r.ClusterColor != -1 {
+					t.Errorf("%s/seed %d: node %d decomposition (%d, %d), want (%d, -1)",
+						tc.name, seed, i, r.Index, r.ClusterColor, r.Color)
+				}
+				if r.Color > maxColor {
+					maxColor = r.Color
+				}
+			}
+			if st.Palette != palette {
+				t.Errorf("%s/seed %d: Stats.Palette %d, Validate palette %d", tc.name, seed, st.Palette, palette)
+			}
+			if st.Cycle != maxColor+1 {
+				t.Errorf("%s/seed %d: Cycle %d, want maxColor+1 = %d", tc.name, seed, st.Cycle, maxColor+1)
+			}
+			if st.Rounds < 2 || st.ColorSlots <= 0 {
+				t.Errorf("%s/seed %d: implausible stats %+v", tc.name, seed, st)
+			}
+		}
+	}
+}
+
+// TestHSBProperAcrossSuite checks the hypergraph-symmetry-breaking backend:
+// proper, complete, leaders an independent set on color 0, colors read as
+// F-packed (slot, channel) pairs.
+func TestHSBProperAcrossSuite(t *testing.T) {
+	for _, tc := range backendCases() {
+		for _, seed := range []uint64{1, 2, 3} {
+			res, st, p := runBackend(t, HSB{}, tc, seed)
+			conflicts, uncolored, _ := Validate(tc.pos, p.REps(), res)
+			if conflicts != 0 || uncolored != 0 {
+				t.Errorf("%s/seed %d: %d conflicts, %d uncolored", tc.name, seed, conflicts, uncolored)
+			}
+			g := graph.Build(tc.pos, p.REps())
+			leaders := 0
+			maxColor := -1
+			for i, r := range res {
+				if r.IsDominator {
+					leaders++
+					if r.Color != 0 {
+						t.Errorf("%s/seed %d: leader %d has color %d, want 0", tc.name, seed, i, r.Color)
+					}
+					for _, nb := range g.Neighbors(i) {
+						if res[nb].IsDominator {
+							t.Errorf("%s/seed %d: adjacent leaders %d and %d", tc.name, seed, i, nb)
+						}
+					}
+				}
+				if r.Color >= 0 {
+					if r.Index != r.Color/p.Channels || r.ClusterColor != r.Color%p.Channels {
+						t.Errorf("%s/seed %d: node %d pair (%d, %d) for color %d at F=%d",
+							tc.name, seed, i, r.Index, r.ClusterColor, r.Color, p.Channels)
+					}
+					if r.Color > maxColor {
+						maxColor = r.Color
+					}
+				}
+			}
+			if leaders == 0 {
+				t.Errorf("%s/seed %d: no MIS leaders elected", tc.name, seed)
+			}
+			if st.Cycle != maxColor/p.Channels+1 {
+				t.Errorf("%s/seed %d: Cycle %d, want maxColor/F+1 = %d", tc.name, seed, st.Cycle, maxColor/p.Channels+1)
+			}
+		}
+	}
+}
+
+// TestHSBCycleBeatsSingleChannel pins the backend's reason to exist: on a
+// dense deployment with F > 1 channels, packing F colors per slot must give
+// a strictly shorter TDMA cycle than the same run's palette needs on one
+// channel.
+func TestHSBCycleBeatsSingleChannel(t *testing.T) {
+	tc := backendCases()[0] // dense crowd, F=4
+	res, st, _ := runBackend(t, HSB{}, tc, 7)
+	maxColor := -1
+	for _, r := range res {
+		if r.Color > maxColor {
+			maxColor = r.Color
+		}
+	}
+	if maxColor < 1 {
+		t.Fatalf("degenerate run: max color %d", maxColor)
+	}
+	if st.Cycle >= maxColor+1 {
+		t.Errorf("Cycle %d not shorter than the single-channel %d", st.Cycle, maxColor+1)
+	}
+}
+
+// TestBackendsUnderFaultInjection runs both new backends with the engine's
+// fault layer attached at zero intensity: the slot machinery must compose
+// (the refactor's point) and the transcript must match the fault-free run.
+func TestBackendsUnderFaultInjection(t *testing.T) {
+	tc := backendCases()[2] // grid, F=2
+	for _, b := range []Colorer{DPlus1{}, HSB{}} {
+		plain, _, p := runBackend(t, b, tc, 5)
+		e := sim.NewEngine(phy.NewField(p, tc.pos), 5)
+		e.Faults = fault.NewInjector(fault.Spec{}, 5, len(tc.pos), p.Channels, 0)
+		faulted, _, err := b.Color(context.Background(), e, nil)
+		if err != nil {
+			t.Fatalf("%s under fault layer: %v", b.Name(), err)
+		}
+		for i := range plain {
+			if plain[i] != faulted[i] {
+				t.Errorf("%s: node %d differs under zero-intensity faults: %+v vs %+v",
+					b.Name(), i, plain[i], faulted[i])
+				break
+			}
+		}
+	}
+}

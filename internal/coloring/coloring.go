@@ -75,21 +75,22 @@ func AssignRounds(pl *core.Plan, cfg Config) int {
 }
 
 // Run executes structure construction followed by the four coloring
-// procedures, returning per-node colors.
-func Run(e *sim.Engine, pl *core.Plan, cfg Config, seed uint64) ([]Result, error) {
-	return RunContext(context.Background(), e, pl, cfg, seed)
+// procedures, returning per-node colors. All protocol randomness flows from
+// the engine's seed through the per-node ctx.Rand streams, so there is no
+// separate coloring seed.
+func Run(e *sim.Engine, pl *core.Plan, cfg Config) ([]Result, error) {
+	return RunContext(context.Background(), e, pl, cfg)
 }
 
 // RunContext is like Run but aborts promptly with ctx.Err() when ctx is
 // cancelled mid-run.
-func RunContext(ctx context.Context, e *sim.Engine, pl *core.Plan, cfg Config, seed uint64) ([]Result, error) {
+func RunContext(ctx context.Context, e *sim.Engine, pl *core.Plan, cfg Config) ([]Result, error) {
 	n := e.Field().N()
 	res := make([]Result, n)
 	progs := make([]sim.Program, n)
 	for i := 0; i < n; i++ {
 		progs[i] = program(pl, cfg, i, res)
 	}
-	_ = seed
 	if _, err := e.RunContext(ctx, progs); err != nil {
 		return nil, err
 	}

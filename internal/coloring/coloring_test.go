@@ -16,7 +16,7 @@ func runColoring(t *testing.T, pos []geo.Point, p model.Params, ccfg core.Config
 	t.Helper()
 	pl := core.NewPlan(p, ccfg)
 	e := sim.NewEngine(phy.NewField(p, pos), seed)
-	res, err := Run(e, pl, DefaultConfig(), seed)
+	res, err := Run(e, pl, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,6 +111,64 @@ func TestValidateCounts(t *testing.T) {
 	conflicts, uncolored, palette := Validate(pos, 1, res)
 	if conflicts != 1 || uncolored != 1 || palette != 1 {
 		t.Errorf("got (%d, %d, %d), want (1, 1, 1)", conflicts, uncolored, palette)
+	}
+}
+
+func TestValidateAllUncolored(t *testing.T) {
+	// Every node uncolored: no conflicts can exist and the palette is empty.
+	pos := []geo.Point{{X: 0}, {X: 0.1}, {X: 0.2}}
+	res := []Result{{Color: -1}, {Color: -1}, {Color: -1}}
+	conflicts, uncolored, palette := Validate(pos, 1, res)
+	if conflicts != 0 || uncolored != 3 || palette != 0 {
+		t.Errorf("got (%d, %d, %d), want (0, 3, 0)", conflicts, uncolored, palette)
+	}
+}
+
+func TestValidateBoundaryRadius(t *testing.T) {
+	// A shared color counts as a conflict exactly when the pair is within
+	// the radius: at distance 1.0 it conflicts (edges are ≤ radius), just
+	// past it does not.
+	res := []Result{{Color: 2}, {Color: 2}}
+	at := func(d float64) int {
+		conflicts, _, _ := Validate([]geo.Point{{X: 0}, {X: d}}, 1, res)
+		return conflicts
+	}
+	if got := at(1.0); got != 1 {
+		t.Errorf("distance 1.0: %d conflicts, want 1", got)
+	}
+	if got := at(1.0 + 1e-9); got != 0 {
+		t.Errorf("distance just past radius: %d conflicts, want 0", got)
+	}
+}
+
+func TestValidatePaletteWithGaps(t *testing.T) {
+	// Palette counts distinct colors in use, not max+1: gaps and repeats
+	// must not inflate it.
+	pos := []geo.Point{{X: 0}, {X: 3}, {X: 6}, {X: 9}}
+	res := []Result{{Color: 0}, {Color: 7}, {Color: 100}, {Color: 7}}
+	conflicts, uncolored, palette := Validate(pos, 1, res)
+	if conflicts != 0 || uncolored != 0 || palette != 3 {
+		t.Errorf("got (%d, %d, %d), want (0, 0, 3)", conflicts, uncolored, palette)
+	}
+}
+
+func TestColorOfClampsNegativeClusterColor(t *testing.T) {
+	// A node that never learned its cluster color (ClusterColor -1, e.g.
+	// structure construction failed for it) must still map to a valid
+	// non-negative color rather than an off-palette negative one.
+	p := model.Default(2, 16)
+	cfg := core.DefaultConfig(p)
+	cfg.PhiMax = 5
+	pl := core.NewPlan(p, cfg)
+	r := Result{Index: 3, ClusterColor: -1}
+	colorOf(&r, pl)
+	if r.Color != 3*5 {
+		t.Errorf("Color = %d, want Index·φ = %d", r.Color, 3*5)
+	}
+	r = Result{Index: 2, ClusterColor: 7} // wraps mod φ
+	colorOf(&r, pl)
+	if r.Color != 2*5+2 {
+		t.Errorf("Color = %d, want %d", r.Color, 2*5+2)
 	}
 }
 

@@ -1,0 +1,134 @@
+package coloring
+
+import (
+	"context"
+
+	"mcnet/internal/core"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+)
+
+// DPlus1 is a degree+1 list-coloring backend in the style of
+// Flin–Halldórsson–Nolin (arXiv:2408.11041): every node colors itself from
+// its private palette {0..deg(v)} via randomized palette trials, entirely
+// without the paper's aggregation structure. One discovery sweep learns the
+// exact neighborhood; then, per epoch, every uncolored node draws a fresh
+// random rank and a uniformly random free color, announces the trial over
+// the TDMA substrate, and commits unless a neighbor with a smaller rank
+// trialed the same color or a neighbor had already committed it. Commits
+// are announced as Final in later epochs, shrinking the neighbors' lists.
+//
+// Two adjacent nodes trialing one color always hear each other on the
+// collision-free substrate and the smaller (rank, ID) pair wins, so the
+// produced coloring is proper by construction; random ranks give the usual
+// O(log n) expected epochs. The palette never exceeds Δ+1 — compared to the
+// sec7 palette of index·φ + clusterColor values this cuts the induced TDMA
+// cycle roughly by the factor φ.
+type DPlus1 struct {
+	// MaxEpochs caps the trial loop; 0 derives a generous bound from n̂ and
+	// the node degree (see trialEpochCap).
+	MaxEpochs int
+}
+
+// Name implements Colorer.
+func (DPlus1) Name() string { return "dplus1" }
+
+// Color implements Colorer. The plan is unused: this backend needs no
+// structure construction.
+func (b DPlus1) Color(goctx context.Context, e *sim.Engine, _ *core.Plan) ([]Result, Stats, error) {
+	n := e.Field().N()
+	res := make([]Result, n)
+	epochs := make([]int, n)
+	progs := make([]sim.Program, n)
+	for i := 0; i < n; i++ {
+		progs[i] = b.program(i, res, epochs)
+	}
+	if _, err := e.RunContext(goctx, progs); err != nil {
+		return nil, Stats{}, err
+	}
+	st := summarize(res, 1)
+	st.Rounds = 1 + maxOf(epochs) // the discovery sweep plus the slowest node's trials
+	st.ColorSlots = lastColoredPast(e, sweepLen(e.Field().Params()))
+	return res, st, nil
+}
+
+func (b DPlus1) program(i int, res []Result, epochs []int) sim.Program {
+	return func(ctx *sim.Ctx) {
+		r := &res[i]
+		r.Color, r.Index, r.ClusterColor = -1, -1, -1
+		p := ctx.Params()
+		cycle := sweepLen(p)
+		nbs := discoverNeighbors(ctx, p, cycle)
+		maxEpochs := b.MaxEpochs
+		if maxEpochs <= 0 {
+			maxEpochs = trialEpochCap(p, len(nbs))
+		}
+		taken := make(map[int]bool, len(nbs))
+		finals := make(map[int]bool, len(nbs))
+		epochs[i] = runTrials(ctx, p, cycle, nbs, r, taken, finals, maxEpochs)
+		r.Index = r.Color
+	}
+}
+
+// runTrials executes rank-based palette trial epochs until the node has
+// committed a color and heard a commitment from every neighbor — the point
+// at which leaving the air cannot strand anyone — or until the epoch cap.
+// r.Color may arrive pre-committed (the hsb leaders); taken accumulates the
+// colors neighbors have committed, finals the neighbors that committed.
+// Returns the number of epochs executed.
+func runTrials(ctx *sim.Ctx, p model.Params, cycle int, nbs []int, r *Result, taken, finals map[int]bool, maxEpochs int) int {
+	deg := len(nbs)
+	for epoch := 1; epoch <= maxEpochs; epoch++ {
+		// The epoch announces the node's state as of the epoch start: a
+		// commitment only counts as heard once a full sweep carried it, so
+		// the exit below never strands a neighbor still waiting for it.
+		wasFinal := r.Color >= 0
+		candidate := r.Color
+		var rank uint64
+		if !wasFinal {
+			candidate = pickFree(ctx, deg, taken)
+			rank = ctx.Rand.Uint64()
+		}
+		lost := false
+		announceSweep(ctx, p, cycle,
+			trialMsg{From: ctx.ID(), Rank: rank, Color: candidate, Final: wasFinal},
+			func(rec phy.Reception) {
+				m, ok := rec.Msg.(trialMsg)
+				if !ok {
+					return // a neighbor still in another protocol phase
+				}
+				if m.Final {
+					finals[m.From] = true
+					taken[m.Color] = true
+					if !wasFinal && m.Color == candidate {
+						lost = true
+					}
+					return
+				}
+				if !wasFinal && m.Color == candidate &&
+					(m.Rank < rank || (m.Rank == rank && m.From < ctx.ID())) {
+					lost = true
+				}
+			})
+		if !wasFinal && !lost {
+			r.Color = candidate
+			ctx.Emit(EventColored, r.Color)
+		}
+		if wasFinal && allMarked(nbs, finals) {
+			return epoch
+		}
+	}
+	return maxEpochs
+}
+
+// maxOf returns the slice maximum (0 for an empty slice).
+func maxOf(v []int) int {
+	m := 0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

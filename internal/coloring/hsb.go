@@ -1,0 +1,146 @@
+package coloring
+
+import (
+	"context"
+	"math/bits"
+
+	"mcnet/internal/core"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+)
+
+// HSB is a hypergraph-symmetry-breaking backend after Kutten–Nanongkai–
+// Pandurangan–Robinson (arXiv:1405.1649): it first breaks symmetry by
+// electing a maximal independent set with per-epoch random ranks (Luby
+// style), then hands out multi-channel TDMA pairs. MIS leaders — pairwise
+// non-adjacent by construction — all commit color 0 simultaneously; covered
+// nodes fill the remaining palette with the same rank-based trials dplus1
+// uses. Color j is read as the pair (slot j/F, channel j mod F), so F colors
+// share every TDMA slot on distinct channels and the induced cycle is about
+// (Δ+1)/F — the backend that actually spends the F channels the paper's
+// model provides, where sec7 and dplus1 schedule one color per slot.
+//
+// Result fields are overloaded to the pair view: Index is the slot j/F,
+// ClusterColor the channel j mod F, and IsDominator marks MIS leaders.
+type HSB struct {
+	// MaxEpochs caps the member trial loop; 0 derives the bound from n̂ and
+	// the node degree (see trialEpochCap).
+	MaxEpochs int
+}
+
+// Name implements Colorer.
+func (HSB) Name() string { return "hsb" }
+
+// Color implements Colorer. The plan is unused: symmetry is broken by the
+// MIS, not by the paper's structure.
+func (b HSB) Color(goctx context.Context, e *sim.Engine, _ *core.Plan) ([]Result, Stats, error) {
+	n := e.Field().N()
+	res := make([]Result, n)
+	epochs := make([]int, n)
+	progs := make([]sim.Program, n)
+	for i := 0; i < n; i++ {
+		progs[i] = b.program(i, res, epochs)
+	}
+	if _, err := e.RunContext(goctx, progs); err != nil {
+		return nil, Stats{}, err
+	}
+	p := e.Field().Params()
+	st := summarize(res, p.Channels)
+	st.Rounds = 1 + maxOf(epochs) // discovery plus MIS plus trials at the slowest node
+	st.ColorSlots = lastColoredPast(e, sweepLen(p))
+	return res, st, nil
+}
+
+// misEpochCap bounds the MIS phase: rank-based elimination halves the
+// undecided edge count per epoch in expectation, so logarithmic in n̂ with
+// generous constants. Undecided survivors fall back to covered and color as
+// ordinary members.
+func misEpochCap(p model.Params) int {
+	return 16 + 6*bits.Len(uint(sweepLen(p)))
+}
+
+func (b HSB) program(i int, res []Result, epochs []int) sim.Program {
+	return func(ctx *sim.Ctx) {
+		r := &res[i]
+		r.Color, r.Index, r.ClusterColor = -1, -1, -1
+		p := ctx.Params()
+		cycle := sweepLen(p)
+		nbs := discoverNeighbors(ctx, p, cycle)
+		deg := len(nbs)
+
+		// Phase 1: elect an MIS. Per epoch every undecided node draws a rank
+		// and joins if it holds the neighborhood minimum; hearing a leader
+		// covers a node. Announcements carry the state as of the epoch start,
+		// so a node leaves only after a full sweep has advertised its
+		// decision and every neighbor's decision has been heard.
+		state := misUndecided
+		decided := make(map[int]bool, deg)
+		misEpochs := 0
+		for epoch := 1; epoch <= misEpochCap(p); epoch++ {
+			misEpochs = epoch
+			announced := state
+			var rank uint64
+			if state == misUndecided {
+				rank = ctx.Rand.Uint64()
+			}
+			localMin := true
+			sawLeader := false
+			announceSweep(ctx, p, cycle, misMsg{From: ctx.ID(), Rank: rank, State: announced},
+				func(rec phy.Reception) {
+					m, ok := rec.Msg.(misMsg)
+					if !ok {
+						return
+					}
+					switch m.State {
+					case misLeader:
+						decided[m.From] = true
+						sawLeader = true
+					case misCovered:
+						decided[m.From] = true
+					default:
+						if m.Rank < rank || (m.Rank == rank && m.From < ctx.ID()) {
+							localMin = false
+						}
+					}
+				})
+			if state == misUndecided {
+				switch {
+				case sawLeader:
+					state = misCovered
+				case localMin:
+					state = misLeader
+				}
+			}
+			if announced != misUndecided && allMarked(nbs, decided) {
+				break
+			}
+		}
+		if state == misUndecided {
+			state = misCovered // cap fallback: color as an ordinary member
+		}
+
+		// Phase 2: leaders commit color 0 — pairwise non-adjacent, so no
+		// conflict — and everyone runs the trial protocol, leaders only to
+		// advertise their commitment until the neighborhood settles.
+		if state == misLeader {
+			r.Color = 0
+			r.IsDominator = true
+			ctx.Emit(EventColored, 0)
+		}
+		maxEpochs := b.MaxEpochs
+		if maxEpochs <= 0 {
+			maxEpochs = trialEpochCap(p, deg)
+		}
+		taken := make(map[int]bool, deg)
+		finals := make(map[int]bool, deg)
+		trials := runTrials(ctx, p, cycle, nbs, r, taken, finals, maxEpochs)
+		epochs[i] = 1 + misEpochs + trials
+
+		// Read the color as its multi-channel TDMA pair.
+		if r.Color >= 0 {
+			r.Index = r.Color / p.Channels
+			r.ClusterColor = r.Color % p.Channels
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// TDMA substrate shared by the dplus1 and hsb backends.
+//
+// Both algorithms need a reliable local-broadcast primitive — every node
+// periodically tells its communication-graph neighborhood something — which
+// the paper's Sec. 7 procedures obtain from the aggregation structure. The
+// alternative backends skip structure construction and instead schedule
+// announcements by node ID: time is divided into sweeps of n̂ slots, node v
+// transmits in sweep slot v mod n̂ on channel (v mod n̂) mod F, and every
+// other node listens on that slot's channel. With n̂ ≥ n at most one node
+// transmits per slot network-wide, so every in-range announcement decodes
+// (single-transmitter SINR is noise-limited inside R_T) and each sweep is a
+// deterministic full neighborhood exchange in n̂ slots — the information-
+// theoretic Δ lower bound for local broadcast up to the n̂/Δ slack.
+//
+// All nodes execute whole sweeps, so they stay slot-aligned without any
+// shared state: a node in sweep k is at global slot k·n̂ + s regardless of
+// which protocol phase it is in, and nodes in different phases simply ignore
+// each other's message types until they catch up. When n̂ < n (a deliberately
+// lying NEstimate), announcement slots collide and the backends degrade to
+// best-effort — the same contract the Sec. 7 procedures have.
+package coloring
+
+import (
+	"math/bits"
+	"sort"
+
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+)
+
+// hello is the discovery-sweep announcement.
+type hello struct {
+	From int
+}
+
+// trialMsg is one node's per-epoch coloring announcement: a tentative
+// candidate (Final false, with the epoch's symmetry-breaking rank) or a
+// committed color (Final true).
+type trialMsg struct {
+	From  int
+	Rank  uint64
+	Color int
+	Final bool
+}
+
+// misMsg is one node's per-epoch maximal-independent-set announcement for
+// the hsb backend's symmetry-breaking phase.
+type misMsg struct {
+	From  int
+	Rank  uint64
+	State uint8 // misUndecided, misLeader or misCovered
+}
+
+const (
+	misUndecided uint8 = iota
+	misLeader
+	misCovered
+)
+
+// sweepLen is the TDMA sweep length: the node-ID size estimate, the only
+// global quantity nodes are allowed to know.
+func sweepLen(p model.Params) int {
+	c := p.NEstimate
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// trialEpochCap bounds a node's trial epochs: logarithmic in n̂ for the
+// expected O(log n) convergence of rank-based trials, plus the node's
+// degree to cover the deterministic at-least-one-commit-per-epoch worst
+// case among palette-starved neighborhoods.
+func trialEpochCap(p model.Params, deg int) int {
+	return 24 + 8*bits.Len(uint(sweepLen(p))) + deg
+}
+
+// discoverNeighbors runs one full TDMA sweep in which every node announces
+// its ID, and returns the sorted IDs heard from within the communication
+// radius R_ε. With n̂ ≥ n the sweep is collision-free, so the result equals
+// the node's exact communication-graph neighborhood.
+func discoverNeighbors(ctx *sim.Ctx, p model.Params, cycle int) []int {
+	id := ctx.ID()
+	rEps := p.REps()
+	seen := make(map[int]bool)
+	var nbs []int
+	for s := 0; s < cycle; s++ {
+		ch := s % p.Channels
+		if s == id%cycle {
+			ctx.Transmit(ch, hello{From: id})
+			continue
+		}
+		rec := ctx.Listen(ch)
+		if !rec.Decoded {
+			continue
+		}
+		if m, ok := rec.Msg.(hello); ok && phy.SenderWithin(rec, p, rEps) && !seen[m.From] {
+			seen[m.From] = true
+			nbs = append(nbs, m.From)
+		}
+	}
+	sort.Ints(nbs)
+	return nbs
+}
+
+// announceSweep runs one TDMA sweep: the node transmits msg in its own slot
+// and listens everywhere else, invoking handle for every decoded message
+// from within the communication radius. Exactly cycle slots are consumed,
+// keeping all nodes sweep-aligned.
+func announceSweep(ctx *sim.Ctx, p model.Params, cycle int, msg any, handle func(rec phy.Reception)) {
+	id := ctx.ID()
+	rEps := p.REps()
+	for s := 0; s < cycle; s++ {
+		ch := s % p.Channels
+		if s == id%cycle {
+			ctx.Transmit(ch, msg)
+			continue
+		}
+		rec := ctx.Listen(ch)
+		if rec.Decoded && phy.SenderWithin(rec, p, rEps) {
+			handle(rec)
+		}
+	}
+}
+
+// pickFree draws a uniformly random color from {0..deg} minus the colors
+// already committed by neighbors. At most deg of the deg+1 palette colors
+// can be taken, so the free set is never empty — the degree+1 list-coloring
+// invariant.
+func pickFree(ctx *sim.Ctx, deg int, taken map[int]bool) int {
+	free := make([]int, 0, deg+1)
+	for c := 0; c <= deg; c++ {
+		if !taken[c] {
+			free = append(free, c)
+		}
+	}
+	return free[ctx.Rand.Intn(len(free))]
+}
+
+// allMarked reports whether every listed neighbor is marked in m.
+func allMarked(nbs []int, m map[int]bool) bool {
+	for _, v := range nbs {
+		if !m[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -35,6 +35,10 @@ type Options struct {
 	// Ctx, when non-nil, cancels the sweep between runs (Ctrl-C on the
 	// CLIs); nil means context.Background().
 	Ctx context.Context
+	// Colorers restricts the c-series head-to-heads to a subset of coloring
+	// backend names; empty means every registered backend. Other experiment
+	// families ignore it.
+	Colorers []string
 }
 
 // ctx resolves the sweep context.
@@ -294,7 +298,7 @@ func E4Coloring(o Options) (*stats.Table, error) {
 		cfg.HopBound = 2
 		pl := core.NewPlan(p, cfg)
 		e := sim.NewEngine(phy.NewField(p, pos), uint64(300*f+s))
-		res, err := coloring.Run(e, pl, coloring.DefaultConfig(), uint64(s))
+		res, err := coloring.Run(e, pl, coloring.DefaultConfig())
 		if err != nil {
 			return e4Run{}, err
 		}
@@ -795,7 +799,7 @@ func All(o Options) ([]*stats.Table, error) {
 }
 
 // ByName returns the runner for an experiment ID ("e1".."e10", "a1".."a3",
-// "f1".."f3").
+// "f1".."f3", "c1".."c3").
 func ByName(name string) (func(Options) (*stats.Table, error), bool) {
 	m := map[string]func(Options) (*stats.Table, error){
 		"e1": E1SpeedupVsChannels, "e2": E2AggVsN, "e3": E3Baselines,
@@ -805,6 +809,7 @@ func ByName(name string) (func(Options) (*stats.Table, error), bool) {
 		"a1": A1BackoffAblation, "a2": A2TDMAAblation,
 		"a3": A3ChannelSpreadAblation,
 		"f1": F1LossSweep, "f2": F2JamSweep, "f3": F3ChurnSweep,
+		"c1": C1ColorHeadToHead, "c2": C2ColorScaling, "c3": C3ColorChurn,
 	}
 	f, ok := m[name]
 	return f, ok

@@ -43,6 +43,8 @@ type Network struct {
 	faults  fault.Spec
 	faulted bool
 
+	colorer string // coloring backend name; "" = sec7
+
 	mu        sync.Mutex
 	observers []func(Event)
 	// dispatchMu serializes observer calls across concurrent runs, so one
@@ -151,6 +153,7 @@ func New(n int, opts ...Option) (*Network, error) {
 		cellFrac:    s.cellFrac,
 		faults:      s.faults,
 		faulted:     s.faulted,
+		colorer:     s.colorer,
 	}, nil
 }
 
@@ -387,21 +390,31 @@ func faultReportOf(rep fault.Report, out *AggregateResult) *FaultReport {
 	}
 }
 
-// Color runs structure construction followed by the Sec. 7 node-coloring
-// procedures: every node receives a color such that no two
-// communication-graph neighbors share one, with O(Δ) colors. The run aborts
-// promptly with ctx.Err() if ctx is cancelled.
+// Color runs the configured coloring backend (the Colorer option; default
+// the paper's Sec. 7 procedures): every node receives a color such that no
+// two communication-graph neighbors share one. The run aborts promptly with
+// ctx.Err() if ctx is cancelled.
 func (nw *Network) Color(ctx context.Context) (*ColorResult, error) {
+	backend, err := coloring.ByName(nw.colorer)
+	if err != nil {
+		return nil, fmt.Errorf("mcnet: %w", err)
+	}
 	n := nw.N()
 	slots := 0
 	e, _ := nw.newEngine()
 	e.Trace = func(int, []phy.Tx, []phy.Rx, []phy.Reception) { slots++ }
 
-	res, err := coloring.RunContext(ctx, e, nw.plan, coloring.DefaultConfig(), nw.seed)
+	res, st, err := backend.Color(ctx, e, nw.plan)
 	if err != nil {
 		return nil, err
 	}
-	out := &ColorResult{Nodes: make([]NodeColor, n), Slots: slots}
+	out := &ColorResult{
+		Backend: backend.Name(),
+		Nodes:   make([]NodeColor, n),
+		Slots:   slots,
+		Rounds:  st.Rounds,
+		Cycle:   st.Cycle,
+	}
 	for i, r := range res {
 		out.Nodes[i] = NodeColor{
 			Color:        r.Color,
@@ -412,15 +425,7 @@ func (nw *Network) Color(ctx context.Context) (*ColorResult, error) {
 		}
 	}
 	out.Conflicts, out.Uncolored, out.Palette = coloring.Validate(nw.pos, nw.params.REps(), res)
-	last := 0
-	for _, ev := range e.Events() {
-		if ev.Name == EventColored && ev.Slot > last {
-			last = ev.Slot
-		}
-	}
-	if last > 0 {
-		out.ColorSlots = last - nw.plan.Offsets.Followers
-	}
+	out.ColorSlots = st.ColorSlots
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package mcnet
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -287,6 +288,62 @@ func TestColorRun(t *testing.T) {
 	}
 	if rep.Links == 0 || rep.Delivered < rep.Links*8/10 {
 		t.Errorf("TDMA delivered %d/%d links, want ≥ 80%%", rep.Delivered, rep.Links)
+	}
+}
+
+// TestColorBackendsViaFacade: each pluggable backend runs through the
+// Colorer option, stamps its name on the result, and on the clique-like
+// crowd yields a proper, complete coloring whose TDMA replay delivers every
+// link.
+func TestColorBackendsViaFacade(t *testing.T) {
+	const n = 36
+	for _, backend := range ColorerNames() {
+		nw, err := New(n, Channels(4), Seed(13), Colorer(backend))
+		if err != nil {
+			t.Fatalf("%s: New: %v", backend, err)
+		}
+		res, err := nw.Color(context.Background())
+		if err != nil {
+			t.Fatalf("%s: Color: %v", backend, err)
+		}
+		if res.Backend != backend {
+			t.Errorf("Backend = %q, want %q", res.Backend, backend)
+		}
+		if res.Conflicts != 0 {
+			t.Errorf("%s: Conflicts = %d, want 0", backend, res.Conflicts)
+		}
+		if backend != "sec7" && res.Uncolored != 0 {
+			t.Errorf("%s: Uncolored = %d, want 0", backend, res.Uncolored)
+		}
+		if res.Cycle <= 0 || res.Rounds <= 0 || res.ColorSlots <= 0 {
+			t.Errorf("%s: implausible stats cycle=%d rounds=%d colorSlots=%d",
+				backend, res.Cycle, res.Rounds, res.ColorSlots)
+		}
+		if backend == "hsb" && res.Cycle >= res.Palette {
+			// F colors share each TDMA slot: the whole point of the backend.
+			t.Errorf("hsb: Cycle = %d not shorter than palette %d", res.Cycle, res.Palette)
+		}
+		if res.Uncolored == 0 {
+			rep, err := nw.VerifyTDMA(res.Colors())
+			if err != nil {
+				t.Fatalf("%s: VerifyTDMA: %v", backend, err)
+			}
+			if rep.Delivered != rep.Links {
+				t.Errorf("%s: TDMA delivered %d/%d links", backend, rep.Delivered, rep.Links)
+			}
+		}
+	}
+}
+
+// TestColorerOptionValidation: unknown backend names are rejected at New
+// time with the valid set.
+func TestColorerOptionValidation(t *testing.T) {
+	_, err := New(16, Colorer("rainbow"))
+	if err == nil {
+		t.Fatal("Colorer(\"rainbow\") accepted")
+	}
+	if !strings.Contains(err.Error(), "rainbow") || !strings.Contains(err.Error(), "sec7") {
+		t.Errorf("unhelpful error: %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package mcnet
 import (
 	"fmt"
 
+	"mcnet/internal/coloring"
 	"mcnet/internal/fault"
 )
 
@@ -30,6 +31,8 @@ type settings struct {
 	// injection layer and surfaces a FaultReport in results.
 	faults  fault.Spec
 	faulted bool
+
+	colorer string // coloring backend name; "" = sec7
 }
 
 func defaultSettings() settings {
@@ -181,6 +184,31 @@ func Parallelism(workers int) Option {
 		return nil
 	}
 }
+
+// Colorer selects the coloring backend Color runs (default "sec7"):
+//
+//   - "sec7": the paper's Sec. 7 procedures on the aggregation structure —
+//     colors k·φ + i from within-cluster indices and cluster colors.
+//   - "dplus1": degree+1 list coloring by randomized palette trials over an
+//     ID-TDMA substrate; palette ≤ Δ+1, no structure construction.
+//   - "hsb": hypergraph symmetry breaking — an MIS elects color 0, members
+//     fill multi-channel TDMA pairs (slot, channel); the induced cycle is
+//     about (Δ+1)/F.
+//
+// Every backend runs on the same slot engine, so fault injection and seed
+// determinism apply uniformly. ColorerNames lists the valid names.
+func Colorer(name string) Option {
+	return func(s *settings) error {
+		if _, err := coloring.ByName(name); err != nil {
+			return fmt.Errorf("mcnet: %w", err)
+		}
+		s.colorer = name
+		return nil
+	}
+}
+
+// ColorerNames lists the registered coloring backend names, default first.
+func ColorerNames() []string { return coloring.Names() }
 
 // JamModel selects the jamming adversary's channel-selection strategy for
 // the Jamming option.

@@ -135,19 +135,26 @@ type FaultReport struct {
 	SurvivorsAgreeing int
 }
 
-// NodeColor is one node's outcome of a Color run.
+// NodeColor is one node's outcome of a Color run. Index and ClusterColor
+// are backend-specific decompositions of Color: under sec7 the final color
+// is Index·φ + ClusterColor mod φ (within-cluster index, cluster TDMA
+// color); under hsb they are the multi-channel pair (slot Color/F, channel
+// Color mod F); dplus1 sets Index = Color and ClusterColor = -1.
 type NodeColor struct {
 	// Color is the final color, or -1 if the node ended uncolored.
 	Color int
-	// Index is the within-cluster color index; ClusterColor the cluster's
-	// TDMA color. The final color is Index·φ + ClusterColor mod φ.
+	// Index and ClusterColor decompose Color per backend (see above).
 	Index, ClusterColor int
-	// IsDominator and IsReporter describe the node's structure role.
+	// IsDominator and IsReporter describe the node's structure role under
+	// sec7; hsb marks its MIS leaders as dominators, dplus1 sets neither.
 	IsDominator, IsReporter bool
 }
 
 // ColorResult is the outcome of Network.Color.
 type ColorResult struct {
+	// Backend names the coloring backend that produced the result (the
+	// Colorer option; "sec7" by default).
+	Backend string
 	// Nodes holds the per-node outcomes.
 	Nodes []NodeColor
 	// Palette is the number of distinct colors used; Conflicts the number
@@ -155,9 +162,17 @@ type ColorResult struct {
 	// proper coloring); Uncolored the number of nodes without a color.
 	Palette, Conflicts, Uncolored int
 	// Slots is the number of slots the run consumed; ColorSlots is when the
-	// last node was colored, measured from the end of structure
-	// construction (the Theorem 24 quantity).
+	// last node was colored, measured from the end of the backend's setup
+	// phase (structure construction for sec7 — the Theorem 24 quantity —
+	// or the discovery sweep for dplus1/hsb).
 	Slots, ColorSlots int
+	// Rounds is the backend's native rounds-to-stabilize measure: slots for
+	// sec7 (equal to ColorSlots), TDMA sweep epochs for dplus1 and hsb.
+	Rounds int
+	// Cycle is the TDMA cycle length the coloring induces: max color + 1
+	// for the single-channel schedules of sec7 and dplus1, max slot + 1 for
+	// hsb, whose F colors share each slot on distinct channels.
+	Cycle int
 }
 
 // Colors returns the per-node final colors (-1 for uncolored nodes).
