@@ -14,17 +14,23 @@ import (
 // stays comparable across sizes and revisions.
 //
 // Run with: go test -bench=BenchmarkAggregateCrowd -benchtime=1x
+//
+// Sizes up to 65k run the full benchCrowdSlots budget on the PR gate; the
+// large sizes (262k, 1M — the nightly bench-large lane, too slow for a PR)
+// use reduced slot budgets so one iteration stays in wall-clock budget
+// while ns/op and node-slots/s remain comparable per slot.
 const benchCrowdSlots = 256
 
-func benchAggregateCrowd(b *testing.B, n int) {
+func benchAggregateCrowdSlots(b *testing.B, n, slots int) {
 	b.Helper()
 	values := make([]int64, n)
 	for i := range values {
 		values[i] = int64(i + 1)
 	}
+	opts := []Option{Channels(8), MaxSlots(slots)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		nw, err := New(n, Channels(8), MaxSlots(benchCrowdSlots))
+		nw, err := New(n, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -33,11 +39,52 @@ func benchAggregateCrowd(b *testing.B, n int) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(benchCrowdSlots*n*b.N)/b.Elapsed().Seconds(), "node-slots/s")
+	b.ReportMetric(float64(slots*n*b.N)/b.Elapsed().Seconds(), "node-slots/s")
+}
+
+func benchAggregateCrowd(b *testing.B, n int) {
+	benchAggregateCrowdSlots(b, n, benchCrowdSlots)
 }
 
 func BenchmarkAggregateCrowd(b *testing.B) {
 	b.Run("n=1k", func(b *testing.B) { benchAggregateCrowd(b, 1024) })
 	b.Run("n=4k", func(b *testing.B) { benchAggregateCrowd(b, 4096) })
 	b.Run("n=16k", func(b *testing.B) { benchAggregateCrowd(b, 16384) })
+	b.Run("n=65k", func(b *testing.B) { benchAggregateCrowd(b, 65536) })
+}
+
+// BenchmarkAggregateCrowdLarge is the nightly bench-large lane: crowd sizes
+// past the PR gate's wall-clock budget, with slot budgets scaled down so a
+// single iteration completes in minutes. Compare against BENCH_large.json,
+// not BENCH_baseline.json.
+//
+// Run with: go test -bench=BenchmarkAggregateCrowdLarge -benchtime=1x -timeout=4h
+func BenchmarkAggregateCrowdLarge(b *testing.B) {
+	b.Run("n=262k", func(b *testing.B) { benchAggregateCrowdSlots(b, 262144, 64) })
+	b.Run("n=1M", func(b *testing.B) { benchAggregateCrowdSlots(b, 1048576, 16) })
+}
+
+// BenchmarkAggregateCrowdF32 is the n=16k crowd under the Float32Kernel
+// knob: same slot budget as BenchmarkAggregateCrowd/n=16k, so the two ns/op
+// values read directly as the f32 kernel's speedup on the SINR term.
+func BenchmarkAggregateCrowdF32(b *testing.B) {
+	b.Run("n=16k", func(b *testing.B) {
+		const n = 16384
+		values := make([]int64, n)
+		for i := range values {
+			values[i] = int64(i + 1)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nw, err := New(n, Channels(8), MaxSlots(benchCrowdSlots), Float32Kernel())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := nw.Aggregate(context.Background(), values, Sum); err != nil &&
+				!strings.Contains(err.Error(), "MaxSlots") {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(benchCrowdSlots*n*b.N)/b.Elapsed().Seconds(), "node-slots/s")
+	})
 }

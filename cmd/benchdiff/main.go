@@ -15,9 +15,18 @@
 // -alloc-pattern (default: the resolver benches, which guarantee an
 // allocation-free steady state) allocates more than threshold × baseline
 // + 1 per op — the +1 keeps one stray runtime allocation from flapping CI
-// while still failing a true 0 → 2 regression. Benchmarks missing on
-// either side are reported but never fail the run, so adding or removing
-// benches doesn't break CI — regenerate with -update.
+// while still failing a true 0 → 2 regression.
+//
+// A baseline key with no matching bench in the run output fails the compare
+// (exit 1): a silently-dropped bench is a disarmed tripwire, not a pass.
+// Removing a bench on purpose means regenerating the baseline with -update
+// (or passing -missing-ok for a run that deliberately executes a subset).
+// Benches present in the run but absent from the baseline are only noted.
+// Improvements of threshold× or better are called out with a reminder to
+// re-baseline, so a real win gets captured instead of masking the next
+// regression.
+//
+// Regenerate with -update.
 //
 // Baselines written by older versions (plain name → ns/op numbers) still
 // load; -update rewrites them in the current format.
@@ -52,6 +61,7 @@ func run(args []string, out, errOut io.Writer) int {
 		threshold    = fs.Float64("threshold", 2.0, "fail when current ns/op (or gated allocs/op) exceeds threshold × baseline")
 		allocPat     = fs.String("alloc-pattern", "^BenchmarkResolve", "regexp of benchmarks whose allocs/op regressions fail the run")
 		update       = fs.Bool("update", false, "rewrite the baseline from the bench output instead of comparing")
+		missingOK    = fs.Bool("missing-ok", false, "tolerate baseline keys with no matching bench in the run output")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -110,7 +120,7 @@ func run(args []string, out, errOut io.Writer) int {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	regressed := 0
+	regressed, improvements := 0, 0
 	for _, name := range names {
 		cur := current[name]
 		base, ok := baseline[name]
@@ -125,6 +135,7 @@ func run(args []string, out, errOut io.Writer) int {
 			allocNote = fmt.Sprintf("  %.0f vs %.0f allocs/op", *cur.AllocsOp, *base.AllocsOp)
 			allocBad = allocRe.MatchString(name) && *cur.AllocsOp > *threshold**base.AllocsOp+1
 		}
+		improved := cur.NsOp**threshold <= base.NsOp
 		status := "ok"
 		switch {
 		case nsBad && allocBad:
@@ -133,20 +144,44 @@ func run(args []string, out, errOut io.Writer) int {
 			status = "REGRESSED"
 		case allocBad:
 			status = "ALLOCS"
+		case improved:
+			status = "IMPROVED"
 		}
 		if nsBad || allocBad {
 			regressed++
 		}
 		fmt.Fprintf(out, "%-10s %-44s %12.0f ns/op vs %12.0f baseline (%.2fx)%s\n",
 			status, name, cur.NsOp, base.NsOp, cur.NsOp/base.NsOp, allocNote)
-	}
-	for name := range baseline {
-		if _, ok := current[name]; !ok {
-			fmt.Fprintf(out, "MISSING    %-44s (in baseline, not in run)\n", name)
+		if improved {
+			improvements++
 		}
 	}
+	missing := 0
+	missingNames := make([]string, 0, len(baseline))
+	for name := range baseline {
+		if _, ok := current[name]; !ok {
+			missingNames = append(missingNames, name)
+		}
+	}
+	sort.Strings(missingNames)
+	for _, name := range missingNames {
+		fmt.Fprintf(out, "MISSING    %-44s (in baseline, not in run)\n", name)
+		missing++
+	}
+	if improvements > 0 {
+		fmt.Fprintf(out, "benchdiff: %d benchmark(s) improved %.1fx or better — update the baseline (-update) to lock the win in\n",
+			improvements, *threshold)
+	}
+	fail := false
 	if regressed > 0 {
 		fmt.Fprintf(errOut, "benchdiff: %d benchmark(s) regressed beyond %.1fx\n", regressed, *threshold)
+		fail = true
+	}
+	if missing > 0 && !*missingOK {
+		fmt.Fprintf(errOut, "benchdiff: %d baseline benchmark(s) missing from the run — a dropped bench disarms the tripwire; regenerate with -update or pass -missing-ok for a deliberate subset\n", missing)
+		fail = true
+	}
+	if fail {
 		return 1
 	}
 	fmt.Fprintf(out, "benchdiff: %d benchmarks within %.1fx of baseline\n", len(names), *threshold)

@@ -139,6 +139,7 @@ BenchmarkEngineThing-8 1 900000 ns/op 128 B/op 3 allocs/op
 	}
 	// One stray allocation is tolerated (the +1 slack).
 	slack := `BenchmarkResolve4kSerial-8 1 2000000 ns/op 16 B/op 1 allocs/op
+BenchmarkEngineThing-8 1 900000 ns/op 0 B/op 0 allocs/op
 `
 	benchPath, basePath = writeFiles(t, slack, baseline)
 	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 0 {
@@ -170,17 +171,52 @@ BenchmarkEngineThing-8 1 900000 ns/op 128 B/op 3 allocs/op
 	}
 }
 
+// TestCompareMissingBench: a baseline key with no matching bench in the run
+// fails the compare — a silently-dropped bench is a disarmed tripwire —
+// unless -missing-ok declares the subset deliberate.
 func TestCompareMissingBench(t *testing.T) {
 	benchPath, basePath := writeFiles(t, sampleBench, map[string]entry{
 		"BenchmarkAggregateCrowd/n=1k": {NsOp: 12000000},
 		"BenchmarkGone":                {NsOp: 1},
 	})
 	var out, errOut bytes.Buffer
-	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 0 {
-		t.Fatalf("exit %d:\n%s%s", code, out.String(), errOut.String())
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 1 {
+		t.Fatalf("dropped bench must fail: exit %d, want 1:\n%s%s", code, out.String(), errOut.String())
 	}
 	if !strings.Contains(out.String(), "MISSING") || !strings.Contains(out.String(), "BenchmarkGone") {
 		t.Errorf("missing baseline entry not noted:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "missing from the run") {
+		t.Errorf("missing-bench failure not explained:\n%s", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath, "-missing-ok"}, &out, &errOut); code != 0 {
+		t.Fatalf("-missing-ok: exit %d, want 0:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Errorf("-missing-ok should still note the gap:\n%s", out.String())
+	}
+}
+
+// TestCompareImprovementHint: a threshold×-or-better improvement is called
+// out with a re-baseline reminder, and does not fail the run.
+func TestCompareImprovementHint(t *testing.T) {
+	benchPath, basePath := writeFiles(t, sampleBench, map[string]entry{
+		"BenchmarkAggregateCrowd/n=1k":   {NsOp: 30000000}, // run is 12e6: 2.5x faster
+		"BenchmarkAggregateCrowd/n=4k":   {NsOp: 50000000},
+		"BenchmarkResolve4kSerial":       {NsOp: 2000000, AllocsOp: fp(0)},
+		"BenchmarkEngine64Nodes100Slots": {NsOp: 900000},
+	})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "IMPROVED") || !strings.Contains(out.String(), "update the baseline") {
+		t.Errorf("improvement hint missing:\n%s", out.String())
+	}
+	if strings.Count(out.String(), "IMPROVED") != 1 {
+		t.Errorf("only n=1k improved 2x:\n%s", out.String())
 	}
 }
 

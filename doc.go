@@ -119,9 +119,26 @@
 // pipeline is allocation-free in steady state: the engine presizes a
 // per-run arena (action, reception and grid-bin scratch) and listeners
 // fan out over a persistent worker pool, so no per-slot allocations or
-// goroutine spawns occur. See README.md for the error-bound derivation
-// and measured speedups, and cmd/mcagg or cmd/mcscenario's -cpuprofile /
-// -memprofile flags for profiling runs without editing code.
+// goroutine spawns occur.
+//
+// Two mechanisms push the hot path further at crowd scale. The slot
+// barrier shards at ≥1024 nodes: instead of every node's arrival bouncing
+// one shared atomic word, nodes are grouped by geo-grid region into ≤64
+// balanced shards with padded per-shard epoch counters and a two-level
+// combine — transcripts are bit-identical to the single-word barrier by
+// construction, pinned by a golden-transcript test and a -race -cpu
+// 1,2,8 CI stress leg. And Float32Kernel() (default off) swaps the SINR
+// inner loop for a divide-free float32 inverse-sqrt kernel: relative
+// error at most phy.Float32KernelTolerance (1e-4) on every accumulated
+// power, decode flips confined to the ε-ambiguous band around β,
+// bit-identical runs per (seed, kernel) at every Parallelism setting —
+// but not transcript-compatible with the default f64 kernel, which stays
+// frozen by the golden-transcript contracts. See README.md for the
+// error-bound derivations and measured numbers — on scalar single-core
+// hardware the f32 kernel trades slightly slower for divide-free, so
+// measure before enabling it. See cmd/mcagg or
+// cmd/mcscenario's -cpuprofile / -memprofile flags for profiling runs
+// without editing code.
 //
 // Everything under internal/ is implementation — the SINR physical layer,
 // the slot-synchronous simulator, and the per-stage protocols — and is not

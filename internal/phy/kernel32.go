@@ -1,0 +1,403 @@
+package phy
+
+import "math"
+
+// This file implements the float32 divide-free SINR kernel, an opt-in
+// replacement for the f64 per-pair arithmetic of the exact and hierarchical
+// resolvers (SetKernel). The default kernel is frozen by the repository's
+// bit-identity contracts (golden transcripts, exact/hier equivalence tests),
+// so the only way to make the inner loop cheaper is a second kernel with an
+// explicit, documented error bound — the same shape of contract the
+// hierarchical far-field aggregation has.
+//
+// # What changes
+//
+// The f64 kernels spend their inner loop on one sqrt and one divide per
+// pair: pw = P/(√q)³ with q = dx²+dy². The f32 kernel removes both:
+//
+//   - r ≈ q^(-1/2) comes from the float32 inverse-square-root bit trick
+//     (initial guess via the 0x5f3759df magic constant, then two Newton
+//     steps — multiplies only), and (1/d)³ = r·r·r.
+//   - The power multiply is hoisted out of the loop entirely: the loop
+//     accumulates Σ (1/d)³ into four independent f64 lanes (a 4-wide unroll
+//     the compiler keeps in registers, with no loop-carried dependency on a
+//     single accumulator), and the total is scaled by P once at the end.
+//
+// Everything that decides *which* transmitter can decode stays exact:
+// squared distances are computed in float64 from the f64 positions (never
+// in f32 — subtracting near-equal coordinates in f32 would lose the bound
+// for close pairs), and the best candidate is selected by the smallest
+// exact q, which under equal transmit powers is the same first-wins
+// strongest-signal selection the f64 kernels make. Only the accumulated
+// power values are approximate.
+//
+// # Error bound
+//
+// For one pair, the computed (1/d)³ differs from the exact value by:
+//
+//   - rounding q to float32: relative error ≤ 2⁻²⁴ in q, ≤ 1.5·2⁻²⁴ ≈ 9e-8
+//     after the -3/2 power;
+//   - the inverse-sqrt iteration: the magic-constant guess is within
+//     3.5e-2, one Newton step brings that to ≤ 1.8e-3, the second to
+//     ≤ 5e-6 (Newton on r⁻² squares the relative error, times 3/2), plus a
+//     few ulps of float32 rounding ≈ 6e-7;
+//   - cubing in f64: triples the relative error to ≤ ~2e-5.
+//
+// Every term in a listener's sum is nonnegative, so the sums, the best
+// signal, the interference and the RSSI all carry relative error at most
+// the per-term bound. Float32KernelTolerance = 1e-4 is that bound with a
+// 4× safety margin, and TestFloat32KernelPropertyRandom enforces it against
+// the f64 kernel on random deployments. Decode decisions can differ from
+// the f64 kernel only when the exact SINR lies within
+// (1 ± 2·Float32KernelTolerance) of the threshold β.
+//
+// Pairs whose exact q does not round to a positive finite normal float32
+// (co-located nodes, separations below ~1e-19 or above ~1e19 distance
+// units) take a rare fallback path through the exact f64 arithmetic, so the
+// bound holds over the full coordinate range and co-location semantics
+// (infinite power, infCount) match the f64 kernel exactly.
+//
+// # Determinism
+//
+// The kernel is a pure function of the slot scanned in a fixed order, so
+// runs are bit-identical for a fixed (seed, kernel) pair at every
+// parallelism setting — pinned by TestFloat32KernelDeterminism. It is NOT
+// transcript-compatible with the f64 kernel; that is the point of the knob.
+//
+// # Measured
+//
+// On scalar amd64 the Newton multiply chain does not beat the hardware
+// sqrt and divide units, which execute concurrently with the rest of the
+// loop: BenchmarkResolveCrowdDenseF32 measures ~15% slower than its f64
+// twin on the single-core baseline runner. The kernel earns its keep on
+// hardware with slow FP dividers, and as the scaffolding for a future
+// vectorized build of the 4-wide lanes; CI tracks the head-to-head.
+
+// Kernel selects the floating-point kernel for per-pair power terms.
+type Kernel int
+
+const (
+	// KernelFloat64 is the default exact-arithmetic kernel: one sqrt and
+	// one divide per pair, bit-identical to the historical resolver.
+	KernelFloat64 Kernel = iota
+	// KernelFloat32 is the divide-free inverse-sqrt kernel with relative
+	// error ≤ Float32KernelTolerance per power term. Requires the Euclidean
+	// metric with α = 3.
+	KernelFloat32
+)
+
+// Float32KernelTolerance bounds the relative error of every accumulated
+// power term (signal, interference, RSSI) under KernelFloat32, versus the
+// same resolver mode under KernelFloat64. See the derivation above.
+const Float32KernelTolerance = 1e-4
+
+// SetKernel selects the arithmetic kernel. KernelFloat32 requires the
+// Euclidean metric with α = 3 (the default parameters); other
+// configurations panic, since the inverse-sqrt cube identity and its error
+// bound are specific to that law.
+func (f *Field) SetKernel(k Kernel) {
+	switch k {
+	case KernelFloat64:
+		f.kernel32 = false
+	case KernelFloat32:
+		if f.dist != nil {
+			panic("phy: float32 kernel requires the Euclidean metric")
+		}
+		if f.alphaInt != 3 {
+			panic("phy: float32 kernel requires α = 3")
+		}
+		f.kernel32 = true
+	default:
+		panic("phy: unknown kernel")
+	}
+}
+
+// Kernel returns the field's arithmetic kernel.
+func (f *Field) Kernel() Kernel {
+	if f.kernel32 {
+		return KernelFloat32
+	}
+	return KernelFloat64
+}
+
+// float32 normal range for the rare-path guard in invCube: outside it the
+// bit-trick guess is garbage (subnormals, zero, overflow), so those pairs
+// fall back to exact arithmetic.
+const (
+	minNormalQ = 1.1754943508222875e-38 // smallest positive normal float32
+	maxFiniteQ = 3.4028234663852886e38  // largest finite float32
+)
+
+// invCube returns (1/√q)³ ≈ q^(-3/2) for an exact squared distance q,
+// divide-free: a float32 inverse-sqrt bit-trick guess refined by two Newton
+// steps (multiplies only), cubed in float64. The bound holds only for q in
+// float32's normal range [minNormalQ, maxFiniteQ]; callers must route other
+// q to invCubeSlow. On out-of-range inputs the result is meaningless but
+// the arithmetic never traps, so call sites may compute it speculatively
+// and overwrite. The range guard lives at the call sites, not here, to keep
+// this under the compiler's inlining budget — a non-inlined call per pair
+// costs more than the sqrt and divide it replaces.
+func invCube(q float64) float64 {
+	s := float32(q)
+	r := math.Float32frombits(0x5f3759df - math.Float32bits(s)>>1)
+	h := 0.5 * s
+	r *= 1.5 - h*r*r
+	r *= 1.5 - h*r*r
+	rd := float64(r)
+	return rd * rd * rd
+}
+
+// invCubeSlow handles q values outside float32's normal range with exact
+// f64 arithmetic: q = 0 (co-location) yields +Inf, everything else the
+// sqrt-and-divide value the f64 kernel would compute.
+func invCubeSlow(q float64) float64 {
+	if q <= 0 {
+		return math.Inf(1)
+	}
+	d := math.Sqrt(q)
+	return 1 / (d * d * d)
+}
+
+// resolveOneExact32 is resolveOneExact under the float32 kernel: the same
+// whole-segment scan in transmitter order, with the per-pair divide and
+// sqrt replaced by invCube and the power multiply hoisted out of the loop.
+// Candidate selection is by exact minimum squared distance, first wins.
+func (f *Field) resolveOneExact32(rx Rx, txs []Tx) Reception {
+	listener := f.pos[rx.Node]
+	lo, hi := f.soa.segment(rx.Channel)
+	self := int32(rx.Node)
+	lx, ly := listener.X, listener.Y
+
+	xs := f.soa.x[lo:hi]
+	ys := f.soa.y[lo:hi:hi][:len(xs)]
+	nodes := f.soa.node[lo:hi:hi][:len(xs)]
+
+	var s0, s1, s2, s3 float64 // Σ (1/d)³, four independent lanes
+	best := int32(-1)
+	bestQ := math.Inf(1)
+	bestInv := math.Inf(-1)
+	infCount := 0
+
+	k := 0
+	for ; k+4 <= len(xs); k += 4 {
+		dx0, dy0 := lx-xs[k], ly-ys[k]
+		dx1, dy1 := lx-xs[k+1], ly-ys[k+1]
+		dx2, dy2 := lx-xs[k+2], ly-ys[k+2]
+		dx3, dy3 := lx-xs[k+3], ly-ys[k+3]
+		q0 := dx0*dx0 + dy0*dy0
+		q1 := dx1*dx1 + dy1*dy1
+		q2 := dx2*dx2 + dy2*dy2
+		q3 := dx3*dx3 + dy3*dy3
+		if nodes[k] != self {
+			v := invCube(q0)
+			if q0 < minNormalQ || q0 > maxFiniteQ {
+				v = invCubeSlow(q0)
+				if q0 <= 0 {
+					infCount++
+				}
+			}
+			s0 += v
+			if q0 < bestQ {
+				best, bestQ, bestInv = int32(k), q0, v
+			}
+		}
+		if nodes[k+1] != self {
+			v := invCube(q1)
+			if q1 < minNormalQ || q1 > maxFiniteQ {
+				v = invCubeSlow(q1)
+				if q1 <= 0 {
+					infCount++
+				}
+			}
+			s1 += v
+			if q1 < bestQ {
+				best, bestQ, bestInv = int32(k+1), q1, v
+			}
+		}
+		if nodes[k+2] != self {
+			v := invCube(q2)
+			if q2 < minNormalQ || q2 > maxFiniteQ {
+				v = invCubeSlow(q2)
+				if q2 <= 0 {
+					infCount++
+				}
+			}
+			s2 += v
+			if q2 < bestQ {
+				best, bestQ, bestInv = int32(k+2), q2, v
+			}
+		}
+		if nodes[k+3] != self {
+			v := invCube(q3)
+			if q3 < minNormalQ || q3 > maxFiniteQ {
+				v = invCubeSlow(q3)
+				if q3 <= 0 {
+					infCount++
+				}
+			}
+			s3 += v
+			if q3 < bestQ {
+				best, bestQ, bestInv = int32(k+3), q3, v
+			}
+		}
+	}
+	for ; k < len(xs); k++ {
+		if nodes[k] == self {
+			continue
+		}
+		dx, dy := lx-xs[k], ly-ys[k]
+		q := dx*dx + dy*dy
+		v := invCube(q)
+		if q < minNormalQ || q > maxFiniteQ {
+			v = invCubeSlow(q)
+			if q <= 0 {
+				infCount++
+			}
+		}
+		s0 += v
+		if q < bestQ {
+			best, bestQ, bestInv = int32(k), q, v
+		}
+	}
+
+	total := f.power * ((s0 + s1) + (s2 + s3))
+	if best >= 0 {
+		return f.decide(txs, total, f.power*bestInv, int(f.soa.tx[lo+int(best)]), infCount)
+	}
+	return f.decide(txs, total, math.Inf(-1), -1, infCount)
+}
+
+// resolveOneHier32 is resolveOneHier under the float32 kernel: near-cell
+// members go through the divide-free invCube chain; far cells — one
+// centroid term each, never hot — keep the exact f64 cube, so the kernel's
+// error bound composes with (and never widens) the hierarchical far-field
+// bound.
+func (f *Field) resolveOneHier32(rx Rx, txs []Tx) Reception {
+	h := f.hier
+	cells := h.cells[h.cellSeg[rx.Channel]:h.cellSeg[rx.Channel+1]]
+	listener := f.pos[rx.Node]
+	lx, ly := listener.X, listener.Y
+	lcol, lrow := h.cellCol[rx.Node], h.cellRow[rx.Node]
+	self := int32(rx.Node)
+
+	var (
+		far      float64 // far-field power, exact f64 centroid terms
+		sum      float64 // Σ (1/d)³ over near members
+		best     = -1
+		bestQ    = math.Inf(1)
+		bestInv  = math.Inf(-1)
+		infCount int
+	)
+	power := f.power
+	for ci := range cells {
+		cl := &cells[ci]
+		dc, dr := cl.col-lcol, cl.row-lrow
+		if dc < 0 {
+			dc = -dc
+		}
+		if dr < 0 {
+			dr = -dr
+		}
+		if dr < dc {
+			dr = dc
+		}
+		if dr <= h.nearRings {
+			xs := h.x[cl.start:cl.end]
+			ys := h.y[cl.start:cl.end]
+			nodes := h.node[cl.start:cl.end]
+			var s0, s1, s2, s3 float64
+			k := 0
+			for ; k+4 <= len(xs); k += 4 {
+				dx0, dy0 := lx-xs[k], ly-ys[k]
+				dx1, dy1 := lx-xs[k+1], ly-ys[k+1]
+				dx2, dy2 := lx-xs[k+2], ly-ys[k+2]
+				dx3, dy3 := lx-xs[k+3], ly-ys[k+3]
+				q0 := dx0*dx0 + dy0*dy0
+				q1 := dx1*dx1 + dy1*dy1
+				q2 := dx2*dx2 + dy2*dy2
+				q3 := dx3*dx3 + dy3*dy3
+				if nodes[k] != self {
+					v := invCube(q0)
+					if q0 < minNormalQ || q0 > maxFiniteQ {
+						v = invCubeSlow(q0)
+						if q0 <= 0 {
+							infCount++
+						}
+					}
+					s0 += v
+					if q0 < bestQ {
+						best, bestQ, bestInv = int(h.tx[cl.start+int32(k)]), q0, v
+					}
+				}
+				if nodes[k+1] != self {
+					v := invCube(q1)
+					if q1 < minNormalQ || q1 > maxFiniteQ {
+						v = invCubeSlow(q1)
+						if q1 <= 0 {
+							infCount++
+						}
+					}
+					s1 += v
+					if q1 < bestQ {
+						best, bestQ, bestInv = int(h.tx[cl.start+int32(k+1)]), q1, v
+					}
+				}
+				if nodes[k+2] != self {
+					v := invCube(q2)
+					if q2 < minNormalQ || q2 > maxFiniteQ {
+						v = invCubeSlow(q2)
+						if q2 <= 0 {
+							infCount++
+						}
+					}
+					s2 += v
+					if q2 < bestQ {
+						best, bestQ, bestInv = int(h.tx[cl.start+int32(k+2)]), q2, v
+					}
+				}
+				if nodes[k+3] != self {
+					v := invCube(q3)
+					if q3 < minNormalQ || q3 > maxFiniteQ {
+						v = invCubeSlow(q3)
+						if q3 <= 0 {
+							infCount++
+						}
+					}
+					s3 += v
+					if q3 < bestQ {
+						best, bestQ, bestInv = int(h.tx[cl.start+int32(k+3)]), q3, v
+					}
+				}
+			}
+			for ; k < len(xs); k++ {
+				if nodes[k] == self {
+					continue
+				}
+				dx, dy := lx-xs[k], ly-ys[k]
+				q := dx*dx + dy*dy
+				v := invCube(q)
+				if q < minNormalQ || q > maxFiniteQ {
+					v = invCubeSlow(q)
+					if q <= 0 {
+						infCount++
+					}
+				}
+				s0 += v
+				if q < bestQ {
+					best, bestQ, bestInv = int(h.tx[cl.start+int32(k)]), q, v
+				}
+			}
+			sum += (s0 + s1) + (s2 + s3)
+			continue
+		}
+		dx, dy := lx-cl.cx, ly-cl.cy
+		d := math.Sqrt(dx*dx + dy*dy)
+		cnt := float64(cl.end - cl.start)
+		far += cnt * (power / (d * d * d))
+	}
+	total := power*sum + far
+	if best == -1 {
+		return Reception{From: -1, Interference: total}
+	}
+	return f.decide(txs, total, power*bestInv, best, infCount)
+}

@@ -1,0 +1,185 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"mcnet/internal/geo"
+	"mcnet/internal/model"
+)
+
+// TestFloat32KernelPropertyRandom is the f32-kernel property test: across
+// random deployments, spans, channel counts and jamming states, every
+// accumulated power (signal, interference, RSSI) stays within
+// Float32KernelTolerance of the same resolver under the f64 kernel, and
+// decode decisions flip only inside the ε-ambiguous band around β — in
+// both directions.
+func TestFloat32KernelPropertyRandom(t *testing.T) {
+	const tol = Float32KernelTolerance
+	r := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 30; trial++ {
+		n := 80 + r.Intn(400)
+		span := 0.05 + math.Pow(10, r.Float64()*4-1) // 0.15 .. ~1000 units
+		channels := 1 + r.Intn(4)
+		mode := ResolverExact
+		if trial%2 == 0 {
+			mode = ResolverHierarchical
+		}
+		p := model.Default(channels, n)
+		pos, txs, rxs := randomSlot(r, n, channels, span, 0.4)
+		// Co-located pairs exercise the q = 0 infinite-power rare path.
+		if n > 8 {
+			pos[1] = pos[0]
+			pos[5] = pos[4]
+		}
+		jammedCh := -1
+		if r.Float64() < 0.4 && channels > 1 {
+			jammedCh = r.Intn(channels)
+		}
+
+		mk := func(k Kernel) []Reception {
+			f := NewField(p, pos)
+			f.SetResolver(mode)
+			if jammedCh >= 0 {
+				f.Jam(jammedCh, true)
+			}
+			f.SetKernel(k)
+			return append([]Reception(nil), f.Resolve(txs, rxs)...)
+		}
+		want := mk(KernelFloat64)
+		got := mk(KernelFloat32)
+
+		for i := range want {
+			w, g := want[i], got[i]
+			if w.RSSI() > 0 && !math.IsInf(w.RSSI(), 1) {
+				if rel := math.Abs(g.RSSI()-w.RSSI()) / w.RSSI(); rel > tol {
+					t.Fatalf("trial %d (n=%d span=%.3g mode=%v jam=%d) listener %d: RSSI error %v > %v",
+						trial, n, span, mode, jammedCh, i, rel, tol)
+				}
+			}
+			if math.IsInf(w.Interference, 1) != math.IsInf(g.Interference, 1) {
+				t.Fatalf("trial %d listener %d: infinite-power disagreement: f64 %+v f32 %+v", trial, i, w, g)
+			}
+			switch {
+			case w.Decoded && w.SINR >= p.Beta*(1+3*tol):
+				// Confidently above threshold: the f32 kernel must agree on
+				// the decode, the sender, and the powers within the bound.
+				if !g.Decoded || g.From != w.From {
+					t.Fatalf("trial %d listener %d: confident decode lost: f64 %+v f32 %+v", trial, i, w, g)
+				}
+				if rel := math.Abs(g.SignalPower-w.SignalPower) / w.SignalPower; rel > tol {
+					t.Fatalf("trial %d listener %d: signal error %v > %v", trial, i, rel, tol)
+				}
+			case !w.Decoded && g.Decoded:
+				// Exact SINR is below β, so the f32 SINR can only have
+				// cleared it from inside the error band.
+				if g.SINR >= p.Beta*(1+3*tol) {
+					t.Fatalf("trial %d listener %d: f32 decode far above band: f64 %+v f32 %+v", trial, i, w, g)
+				}
+			case w.Decoded && !g.Decoded:
+				// Covered by the confident case unless w.SINR was in-band.
+				if w.SINR >= p.Beta*(1+3*tol) {
+					t.Fatalf("trial %d listener %d: decode lost outside band: f64 %+v f32 %+v", trial, i, w, g)
+				}
+			}
+		}
+	}
+}
+
+// TestFloat32KernelDeterminism: for a fixed slot, the f32 kernel resolves
+// bit-identically run after run and at every worker count — the property
+// the facade's knob contract (determinism per (seed, kernel)) rests on.
+func TestFloat32KernelDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	p := model.Default(3, 900)
+	pos, txs, rxs := randomSlot(r, 900, 3, 25.0, 0.4)
+	if len(rxs)*len(txs) < minParallelWork {
+		t.Fatalf("slot too small to exercise fan-out: %d pairs", len(rxs)*len(txs))
+	}
+	serial := NewField(p, pos)
+	serial.SetKernel(KernelFloat32)
+	serial.SetParallelism(1)
+	want := append([]Reception(nil), serial.Resolve(txs, rxs)...)
+	for trial := 0; trial < 3; trial++ {
+		sameReceptions(t, "f32 serial repeat", serial.Resolve(txs, rxs), want)
+	}
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0), 8} {
+		f := NewField(p, pos)
+		f.SetKernel(KernelFloat32)
+		f.SetParallelism(workers)
+		sameReceptions(t, "f32 parallel vs serial", f.Resolve(txs, rxs), want)
+	}
+}
+
+// TestSetKernelValidation pins the knob's contract: f32 requires the
+// Euclidean metric with α = 3, unknown kernels panic, and the selection is
+// reversible.
+func TestSetKernelValidation(t *testing.T) {
+	pos := []geo.Point{{X: 0}, {X: 1}}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("custom metric", func() {
+		NewFieldMetric(model.Default(1, 4), pos, geo.Manhattan).SetKernel(KernelFloat32)
+	})
+	mustPanic("non-cubic alpha", func() {
+		p := model.Default(1, 4)
+		p.Alpha = 2.5
+		NewField(p, pos).SetKernel(KernelFloat32)
+	})
+	mustPanic("unknown kernel", func() {
+		NewField(model.Default(1, 4), pos).SetKernel(Kernel(99))
+	})
+
+	f := NewField(model.Default(1, 4), pos)
+	if f.Kernel() != KernelFloat64 {
+		t.Errorf("default kernel = %v, want KernelFloat64", f.Kernel())
+	}
+	f.SetKernel(KernelFloat32)
+	if f.Kernel() != KernelFloat32 {
+		t.Errorf("kernel after SetKernel = %v, want KernelFloat32", f.Kernel())
+	}
+	f.SetKernel(KernelFloat64)
+	if f.Kernel() != KernelFloat64 {
+		t.Errorf("kernel not reversible: %v", f.Kernel())
+	}
+}
+
+// TestInvCubeBound checks the kernel primitive directly over the full
+// float32-normal range of squared distances, plus the rare paths on either
+// side of it. kernelInv mirrors the guard every call site applies: invCube
+// for q in float32's normal range, invCubeSlow otherwise.
+func TestInvCubeBound(t *testing.T) {
+	kernelInv := func(q float64) float64 {
+		if q < minNormalQ || q > maxFiniteQ {
+			return invCubeSlow(q)
+		}
+		return invCube(q)
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		q := math.Pow(10, r.Float64()*76-38) // spans ~[1e-38, 1e38]
+		exact := 1 / (math.Sqrt(q) * q)      // q^(-3/2), up to f64 rounding
+		got := kernelInv(q)
+		if rel := math.Abs(got-exact) / exact; rel > Float32KernelTolerance {
+			t.Fatalf("kernelInv(%g) = %g, exact %g, rel err %v", q, got, exact, rel)
+		}
+	}
+	if !math.IsInf(kernelInv(0), 1) {
+		t.Error("kernelInv(0) should be +Inf")
+	}
+	for _, q := range []float64{1e-40, 1e-300, 1e40, 1e300} {
+		exact := 1 / (math.Sqrt(q) * q)
+		if got := kernelInv(q); math.Abs(got-exact)/exact > 1e-12 {
+			t.Errorf("kernelInv(%g) rare path = %g, want ~%g", q, got, exact)
+		}
+	}
+}

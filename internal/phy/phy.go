@@ -147,6 +147,7 @@ type Field struct {
 	mode     Resolver
 	tol      float64 // hierarchical far-field tolerance (> 0)
 	cellFrac float64 // grid cell size as a fraction of R_T
+	kernel32 bool    // KernelFloat32 selected (see kernel32.go)
 
 	// soa is the per-slot struct-of-arrays transmitter layout, rebuilt by
 	// every Resolve call; hier adds the per-cell segmentation on top.
@@ -381,21 +382,28 @@ func (f *Field) Resolve(txs []Tx, rxs []Rx) []Reception {
 // unit of work handed to pool workers; disjoint ranges touch disjoint out
 // entries, so workers share nothing but read-only slot state.
 func (f *Field) resolveRange(txs []Tx, rxs []Rx, out []Reception, lo, hi int) {
-	hier := f.slotHier
+	hier, k32 := f.slotHier, f.kernel32
 	for i := lo; i < hi; i++ {
 		rx := rxs[i]
 		if hier {
 			if f.jammed[rx.Channel] {
 				// A jammed channel delivers nothing, so decode bookkeeping
 				// is skipped: the listener senses the exact flat power sum
-				// of the (unbinned) channel segment.
+				// of the (unbinned) channel segment. The f32 kernel keeps
+				// this exact: jammed slots are rare and never hot.
 				out[i] = Reception{From: -1, Interference: f.jammedTotal(rx)}
+			} else if k32 {
+				out[i] = f.resolveOneHier32(rx, txs)
 			} else {
 				out[i] = f.resolveOneHier(rx, txs)
 			}
 			continue
 		}
-		out[i] = f.resolveOneExact(rx, txs)
+		if k32 {
+			out[i] = f.resolveOneExact32(rx, txs)
+		} else {
+			out[i] = f.resolveOneExact(rx, txs)
+		}
 		if f.jammed[rx.Channel] && out[i].Decoded {
 			// Historical jam fold, preserved bit-for-bit: the signal is
 			// still sensed, nothing is delivered.

@@ -19,7 +19,13 @@ import (
 // identically slot by slot.
 func transcriptHash(t *testing.T, f *phy.Field, seed uint64, progs []Program) (uint64, int) {
 	t.Helper()
-	e := NewEngine(f, seed)
+	return engineTranscriptHash(t, NewEngine(f, seed), progs)
+}
+
+// engineTranscriptHash is transcriptHash over a caller-configured engine
+// (barrier mode, slot caps).
+func engineTranscriptHash(t *testing.T, e *Engine, progs []Program) (uint64, int) {
+	t.Helper()
 	h := fnv.New64a()
 	e.Trace = func(slot int, txs []phy.Tx, rxs []phy.Rx, recs []phy.Reception) {
 		fmt.Fprintf(h, "slot %d|", slot)

@@ -41,3 +41,43 @@ func benchEngine(b *testing.B, n int) {
 
 func BenchmarkEngine64Nodes100Slots(b *testing.B)  { benchEngine(b, 64) }
 func BenchmarkEngine256Nodes100Slots(b *testing.B) { benchEngine(b, 256) }
+
+// BenchmarkEngineBarrier isolates the slot-barrier cost at a node count
+// where BarrierAuto shards: the same chatter workload under the forced
+// global single-word barrier and the sharded epoch-counter barrier. The gap
+// between the two sub-benches is the barrier contention term (visible on
+// multicore runners; on one core the two are equivalent).
+func benchEngineBarrier(b *testing.B, n int, mode BarrierMode) {
+	b.Helper()
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: float64(i%64) * 0.2, Y: float64(i/64) * 0.2}
+	}
+	f := phy.NewField(model.Default(4, n), pos)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(f, uint64(i))
+		e.Barrier = mode
+		progs := make([]Program, n)
+		for j := range progs {
+			progs[j] = func(ctx *Ctx) {
+				for s := 0; s < 50; s++ {
+					if ctx.Rand.Float64() < 0.1 {
+						ctx.Transmit(ctx.Rand.Intn(4), s)
+					} else {
+						ctx.Listen(ctx.Rand.Intn(4))
+					}
+				}
+			}
+		}
+		if _, err := e.Run(progs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(50*n*b.N)/b.Elapsed().Seconds(), "node-slots/s")
+}
+
+func BenchmarkEngineBarrier(b *testing.B) {
+	b.Run("global/n=4k", func(b *testing.B) { benchEngineBarrier(b, 4096, BarrierGlobal) })
+	b.Run("sharded/n=4k", func(b *testing.B) { benchEngineBarrier(b, 4096, BarrierSharded) })
+}

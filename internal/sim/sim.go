@@ -95,9 +95,18 @@ type Engine struct {
 	// zero-intensity injector leaves transcripts bit-identical to running
 	// with Faults == nil.
 	Faults FaultInjector
+	// Barrier selects the slot-barrier implementation (see BarrierMode).
+	// The default, BarrierAuto, shards the barrier at crowd scale and keeps
+	// the single-word gate for small runs. Every mode produces bit-identical
+	// transcripts — the barrier decides when the engine wakes, never the
+	// order slot state is read in. Set it before Run.
+	Barrier BarrierMode
 
 	field *phy.Field
 	seed  uint64
+	// sharding caches the node → barrier-shard map; positions are fixed for
+	// the engine's lifetime, so it is built once on first sharded run.
+	sharding *shardPlan
 
 	mu     sync.Mutex
 	events []Event
@@ -194,7 +203,12 @@ type roundState struct {
 	// low half counts arrivals so far. The engine rewrites both halves
 	// together between slots; arrivals increment the low half and compare
 	// the halves of the same atomic snapshot.
-	gate    atomic.Uint64
+	gate atomic.Uint64
+	// shards, when non-nil, replaces gate with per-region epoch counters
+	// combined through root — see barrier.go. shardOf maps node → shard.
+	shards  []gateShard
+	shardOf []int32
+	root    atomic.Uint64                 // live shards<<32 | completed shards
 	wake    chan struct{}                 // capacity 1: the completing arrival → engine
 	release atomic.Pointer[chan struct{}] // closed by the engine per slot
 
@@ -206,21 +220,6 @@ type roundState struct {
 	// its channel form, selected on by parked idle batches.
 	aborted atomic.Bool
 	stop    chan struct{} // closed when the engine aborts the run
-}
-
-// arrive records one barrier arrival and wakes the engine if it is the last
-// expected one. Both halves of the gate come from one atomic snapshot, so
-// exactly one arrival per slot observes count == expect and sends the wake
-// token. The send is non-blocking because stale arrivals during an abort
-// may race with an undelivered token.
-func (rs *roundState) arrive() {
-	g := rs.gate.Add(1)
-	if uint32(g) == uint32(g>>32) {
-		select {
-		case rs.wake <- struct{}{}:
-		default:
-		}
-	}
 }
 
 // Run executes one program per node until all programs return, then reports
@@ -277,7 +276,24 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 	for i := range rs.idleWake {
 		rs.idleWake[i] = make(chan struct{}, 1)
 	}
-	rs.gate.Store(uint64(n) << 32)
+	// Barrier selection: per-region shards at crowd scale (or on request),
+	// the single packed word otherwise. shardExpect mirrors, per shard, the
+	// live non-idling member count the engine tracks globally in
+	// expectCount; both are engine-private and updated in the quiescent
+	// window only.
+	var shardExpect []int32
+	if e.Barrier == BarrierSharded || (e.Barrier == BarrierAuto && n >= shardedBarrierMinNodes) {
+		if e.sharding == nil {
+			e.sharding = buildShardPlan(e.field.Positions(), e.field.Params().RT())
+		}
+		rs.shards = make([]gateShard, e.sharding.count)
+		rs.shardOf = e.sharding.of
+		shardExpect = make([]int32, e.sharding.count)
+		for i := 0; i < n; i++ {
+			shardExpect[rs.shardOf[i]]++
+		}
+	}
+	rs.openGates(n, shardExpect)
 	rel := make(chan struct{})
 	rs.release.Store(&rel)
 
@@ -322,7 +338,7 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 				// progress; the done flag is set first so the engine retires
 				// the node before resolving.
 				rs.done[i].Store(true)
-				rs.arrive()
+				rs.arrive(i)
 			}()
 			if prog != nil {
 				prog(nctx)
@@ -390,6 +406,9 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 				if rs.done[i].Load() {
 					active[i] = false
 					nActive--
+					if shardExpect != nil {
+						shardExpect[rs.shardOf[i]]--
+					}
 					continue
 				}
 				switch rs.pending[i].kind {
@@ -404,6 +423,9 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 					wakeAt[end] = append(wakeAt[end], i)
 					rs.pending[i].kind = actIdleHold
 					idling++
+					if shardExpect != nil {
+						shardExpect[rs.shardOf[i]]--
+					}
 				}
 			}
 			if nActive == 0 {
@@ -460,9 +482,14 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 		if len(ending) > 0 {
 			delete(wakeAt, slot-1)
 			idling -= len(ending)
+			if shardExpect != nil {
+				for _, i := range ending {
+					shardExpect[rs.shardOf[i]]++
+				}
+			}
 		}
 		expectCount = nActive - idling
-		rs.gate.Store(uint64(uint32(expectCount)) << 32)
+		rs.openGates(expectCount, shardExpect)
 		next := make(chan struct{})
 		old := rs.release.Load()
 		rs.release.Store(&next)
@@ -538,7 +565,7 @@ func (c *Ctx) IdleFor(k int) {
 		panic(stopSignal{})
 	}
 	rs.pending[c.id] = action{kind: actIdleLong, count: k}
-	rs.arrive()
+	rs.arrive(c.id)
 	select {
 	case <-rs.idleWake[c.id]:
 		// The select can win this race against a concurrent abort; don't
@@ -578,7 +605,7 @@ func (c *Ctx) step(a action) phy.Reception {
 	// slot's channel at any moment.
 	rel := rs.release.Load()
 	rs.pending[c.id] = a
-	rs.arrive()
+	rs.arrive(c.id)
 	<-*rel
 	// An abort also closes the release channel to free parked nodes; their
 	// slot was never resolved, so unwind instead of handing the program a
