@@ -2,8 +2,11 @@ package mcnet
 
 import (
 	"context"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // BenchmarkAggregateCrowd is the slot-hot-path trajectory benchmark: the
@@ -18,16 +21,70 @@ import (
 // Sizes up to 65k run the full benchCrowdSlots budget on the PR gate; the
 // large sizes (262k, 1M — the nightly bench-large lane, too slow for a PR)
 // use reduced slot budgets so one iteration stays in wall-clock budget
-// while ns/op and node-slots/s remain comparable per slot.
+// while ns/op and the per-slot metrics remain comparable per slot.
+//
+// Reported metrics beyond ns/op: ns/slot-node (ns/op normalized by the
+// simulated slot·node volume — the cross-size comparable number benchdiff
+// prints), node-slots/s (its inverse), peak-heap-bytes and peak-goroutines
+// (sampled ~1 kHz during the run; execution modes differ in exactly these).
 const benchCrowdSlots = 256
 
-func benchAggregateCrowdSlots(b *testing.B, n, slots int) {
+// peakSampler samples heap use and goroutine count during a benchmark run.
+type peakSampler struct {
+	stop chan struct{}
+	done chan struct{}
+
+	heap       atomic.Uint64
+	goroutines atomic.Int64
+}
+
+func startPeakSampler() *peakSampler {
+	ps := &peakSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(ps.done)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			ps.sample(&ms)
+			select {
+			case <-ps.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return ps
+}
+
+func (ps *peakSampler) sample(ms *runtime.MemStats) {
+	runtime.ReadMemStats(ms)
+	if h := ms.HeapAlloc; h > ps.heap.Load() {
+		ps.heap.Store(h)
+	}
+	if g := int64(runtime.NumGoroutine()); g > ps.goroutines.Load() {
+		ps.goroutines.Store(g)
+	}
+}
+
+// report stops the sampler, takes one final sample, and publishes the peaks.
+func (ps *peakSampler) report(b *testing.B) {
+	close(ps.stop)
+	<-ps.done
+	var ms runtime.MemStats
+	ps.sample(&ms)
+	b.ReportMetric(float64(ps.heap.Load()), "peak-heap-bytes")
+	b.ReportMetric(float64(ps.goroutines.Load()), "peak-goroutines")
+}
+
+func benchAggregateCrowdSlots(b *testing.B, n, slots int, extra ...Option) {
 	b.Helper()
 	values := make([]int64, n)
 	for i := range values {
 		values[i] = int64(i + 1)
 	}
-	opts := []Option{Channels(8), MaxSlots(slots)}
+	opts := append([]Option{Channels(8), MaxSlots(slots)}, extra...)
+	ps := startPeakSampler()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nw, err := New(n, opts...)
@@ -39,7 +96,11 @@ func benchAggregateCrowdSlots(b *testing.B, n, slots int) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(slots*n*b.N)/b.Elapsed().Seconds(), "node-slots/s")
+	b.StopTimer()
+	ps.report(b)
+	nodeSlots := float64(slots) * float64(n) * float64(b.N)
+	b.ReportMetric(nodeSlots/b.Elapsed().Seconds(), "node-slots/s")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/nodeSlots, "ns/slot-node")
 }
 
 func benchAggregateCrowd(b *testing.B, n int) {
@@ -53,10 +114,24 @@ func BenchmarkAggregateCrowd(b *testing.B) {
 	b.Run("n=65k", func(b *testing.B) { benchAggregateCrowd(b, 65536) })
 }
 
+// BenchmarkAggregateCrowdExec pins the two execution modes against each
+// other on the PR gate's largest crowd: same workload, same transcript, the
+// gap is pure engine overhead (goroutine stacks and park/unpark vs stepper
+// structs). peak-heap-bytes and peak-goroutines are where the modes differ.
+func BenchmarkAggregateCrowdExec(b *testing.B) {
+	b.Run("goroutines/n=16k", func(b *testing.B) {
+		benchAggregateCrowdSlots(b, 16384, benchCrowdSlots, Exec(ExecGoroutines))
+	})
+	b.Run("stepped/n=16k", func(b *testing.B) {
+		benchAggregateCrowdSlots(b, 16384, benchCrowdSlots, Exec(ExecStepped))
+	})
+}
+
 // BenchmarkAggregateCrowdLarge is the nightly bench-large lane: crowd sizes
 // past the PR gate's wall-clock budget, with slot budgets scaled down so a
 // single iteration completes in minutes. Compare against BENCH_large.json,
-// not BENCH_baseline.json.
+// not BENCH_baseline.json. ExecAuto selects the stepped engine at these
+// sizes.
 //
 // Run with: go test -bench=BenchmarkAggregateCrowdLarge -benchtime=1x -timeout=4h
 func BenchmarkAggregateCrowdLarge(b *testing.B) {
@@ -69,22 +144,6 @@ func BenchmarkAggregateCrowdLarge(b *testing.B) {
 // values read directly as the f32 kernel's speedup on the SINR term.
 func BenchmarkAggregateCrowdF32(b *testing.B) {
 	b.Run("n=16k", func(b *testing.B) {
-		const n = 16384
-		values := make([]int64, n)
-		for i := range values {
-			values[i] = int64(i + 1)
-		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			nw, err := New(n, Channels(8), MaxSlots(benchCrowdSlots), Float32Kernel())
-			if err != nil {
-				b.Fatal(err)
-			}
-			if _, err := nw.Aggregate(context.Background(), values, Sum); err != nil &&
-				!strings.Contains(err.Error(), "MaxSlots") {
-				b.Fatal(err)
-			}
-		}
-		b.ReportMetric(float64(benchCrowdSlots*n*b.N)/b.Elapsed().Seconds(), "node-slots/s")
+		benchAggregateCrowdSlots(b, 16384, benchCrowdSlots, Float32Kernel())
 	})
 }

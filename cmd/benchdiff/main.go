@@ -9,8 +9,10 @@
 //	benchdiff -baseline BENCH_baseline.json -bench bench.txt -update    # rewrite baseline
 //
 // The baseline maps benchmark names (GOMAXPROCS suffix stripped, so runs
-// compare across machines with different core counts) to ns/op and — when
-// the bench ran with -benchmem — allocs/op. Compare mode exits 1 if any
+// compare across machines with different core counts) to ns/op, — when
+// the bench ran with -benchmem — allocs/op, and — for benches reporting it
+// (the crowd benches) — the ns/slot-node metric, printed alongside ns/op so
+// per-slot-per-node cost reads directly across sizes. Compare mode exits 1 if any
 // current ns/op exceeds threshold × baseline, or if a benchmark matching
 // -alloc-pattern (default: the resolver benches, which guarantee an
 // allocation-free steady state) allocates more than threshold × baseline
@@ -41,13 +43,17 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // entry is one benchmark's baseline record. AllocsOp is nil when the bench
-// output carried no -benchmem columns.
+// output carried no -benchmem columns; NsSlotNode is nil unless the bench
+// reported the ns/slot-node metric (the crowd benches' per-slot-per-node
+// cost, comparable across sizes and slot budgets).
 type entry struct {
-	NsOp     float64  `json:"ns_op"`
-	AllocsOp *float64 `json:"allocs_op,omitempty"`
+	NsOp       float64  `json:"ns_op"`
+	AllocsOp   *float64 `json:"allocs_op,omitempty"`
+	NsSlotNode *float64 `json:"ns_slot_node,omitempty"`
 }
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -59,7 +65,7 @@ func run(args []string, out, errOut io.Writer) int {
 		baselinePath = fs.String("baseline", "BENCH_baseline.json", "baseline JSON file")
 		benchPath    = fs.String("bench", "", "go test -bench output to compare (required)")
 		threshold    = fs.Float64("threshold", 2.0, "fail when current ns/op (or gated allocs/op) exceeds threshold × baseline")
-		allocPat     = fs.String("alloc-pattern", "^BenchmarkResolve", "regexp of benchmarks whose allocs/op regressions fail the run")
+		allocPat     = fs.String("alloc-pattern", "^BenchmarkResolve|^BenchmarkAggregateCrowd", "regexp of benchmarks whose allocs/op regressions fail the run")
 		update       = fs.Bool("update", false, "rewrite the baseline from the bench output instead of comparing")
 		missingOK    = fs.Bool("missing-ok", false, "tolerate baseline keys with no matching bench in the run output")
 	)
@@ -134,6 +140,12 @@ func run(args []string, out, errOut io.Writer) int {
 		if cur.AllocsOp != nil && base.AllocsOp != nil {
 			allocNote = fmt.Sprintf("  %.0f vs %.0f allocs/op", *cur.AllocsOp, *base.AllocsOp)
 			allocBad = allocRe.MatchString(name) && *cur.AllocsOp > *threshold**base.AllocsOp+1
+		}
+		switch {
+		case cur.NsSlotNode != nil && base.NsSlotNode != nil:
+			allocNote += fmt.Sprintf("  %.1f vs %.1f ns/slot-node", *cur.NsSlotNode, *base.NsSlotNode)
+		case cur.NsSlotNode != nil:
+			allocNote += fmt.Sprintf("  %.1f ns/slot-node", *cur.NsSlotNode)
 		}
 		improved := cur.NsOp**threshold <= base.NsOp
 		status := "ok"
@@ -217,26 +229,43 @@ func parseBaseline(raw []byte) (map[string]entry, error) {
 // sit between ns/op and them.
 var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) allocs/op)?`)
 
-// parseBench extracts name → {ns/op, allocs/op} from bench output,
-// stripping the GOMAXPROCS suffix. Repeated entries (e.g. -count > 1) keep
-// the minimum ns/op — the least-noisy estimate of the machine's capability
-// — and the maximum allocs/op, the conservative side for a regression gate.
+// slotNodeCol matches the crowd benches' ns/slot-node ReportMetric column.
+var slotNodeCol = regexp.MustCompile(`\s([0-9.]+(?:e[+-]?[0-9]+)?) ns/slot-node`)
+
+// parseBench extracts name → {ns/op, allocs/op, ns/slot-node} from bench
+// output, stripping the GOMAXPROCS suffix. Repeated entries (e.g. -count >
+// 1) keep the minimum ns/op and ns/slot-node — the least-noisy estimate of
+// the machine's capability — and the maximum allocs/op, the conservative
+// side for a regression gate.
 func parseBench(s string) map[string]entry {
 	out := map[string]entry{}
-	for _, m := range benchLine.FindAllStringSubmatch(s, -1) {
-		ns, err := strconv.ParseFloat(m[2], 64)
+	for _, m := range benchLine.FindAllStringSubmatchIndex(s, -1) {
+		name := s[m[2]:m[3]]
+		ns, err := strconv.ParseFloat(s[m[4]:m[5]], 64)
 		if err != nil {
 			continue
 		}
 		var allocs *float64
-		if m[3] != "" {
-			if a, err := strconv.ParseFloat(m[3], 64); err == nil {
+		if m[6] >= 0 {
+			if a, err := strconv.ParseFloat(s[m[6]:m[7]], 64); err == nil {
 				allocs = &a
 			}
 		}
-		prev, seen := out[m[1]]
+		var slotNode *float64
+		line := s[m[0]:m[1]]
+		if end := strings.IndexByte(s[m[1]:], '\n'); end >= 0 {
+			line = s[m[0] : m[1]+end]
+		} else {
+			line = s[m[0]:]
+		}
+		if sm := slotNodeCol.FindStringSubmatch(line); sm != nil {
+			if v, err := strconv.ParseFloat(sm[1], 64); err == nil {
+				slotNode = &v
+			}
+		}
+		prev, seen := out[name]
 		if !seen {
-			out[m[1]] = entry{NsOp: ns, AllocsOp: allocs}
+			out[name] = entry{NsOp: ns, AllocsOp: allocs, NsSlotNode: slotNode}
 			continue
 		}
 		if ns < prev.NsOp {
@@ -245,7 +274,10 @@ func parseBench(s string) map[string]entry {
 		if allocs != nil && (prev.AllocsOp == nil || *allocs > *prev.AllocsOp) {
 			prev.AllocsOp = allocs
 		}
-		out[m[1]] = prev
+		if slotNode != nil && (prev.NsSlotNode == nil || *slotNode < *prev.NsSlotNode) {
+			prev.NsSlotNode = slotNode
+		}
+		out[name] = prev
 	}
 	return out
 }

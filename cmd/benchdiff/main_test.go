@@ -45,6 +45,33 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestParseBenchSlotNode(t *testing.T) {
+	bench := "BenchmarkAggregateCrowd/n=16k-8 1 5000000000 ns/op 1445826 node-slots/s 691.6 ns/slot-node 1028 peak-goroutines 239523 allocs/op\n" +
+		"BenchmarkAggregateCrowd/n=16k-8 1 6000000000 ns/op 1200000 node-slots/s 800.0 ns/slot-node 1028 peak-goroutines 239523 allocs/op\n"
+	e := parseBench(bench)["BenchmarkAggregateCrowd/n=16k"]
+	if e.NsSlotNode == nil || *e.NsSlotNode != 691.6 {
+		t.Errorf("ns/slot-node = %v, want the minimum 691.6", e.NsSlotNode)
+	}
+	if e.AllocsOp == nil || *e.AllocsOp != 239523 {
+		t.Errorf("allocs/op = %v, want 239523", e.AllocsOp)
+	}
+}
+
+func TestCompareShowsSlotNode(t *testing.T) {
+	bench := "BenchmarkAggregateCrowd/n=16k-8 1 5000000000 ns/op 691.6 ns/slot-node\n"
+	baseline := map[string]entry{
+		"BenchmarkAggregateCrowd/n=16k": {NsOp: 5200000000, NsSlotNode: fp(700.0)},
+	}
+	benchPath, basePath := writeFiles(t, bench, baseline)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-baseline", basePath, "-bench", benchPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "691.6 vs 700.0 ns/slot-node") {
+		t.Errorf("output lacks the ns/slot-node comparison:\n%s", out.String())
+	}
+}
+
 func writeFiles(t *testing.T, bench string, baseline any) (benchPath, basePath string) {
 	t.Helper()
 	dir := t.TempDir()

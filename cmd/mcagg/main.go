@@ -38,6 +38,7 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		exp        = fs.String("exp", "all", "experiment id: e1..e10, a1..a3, f1..f3, c1..c3 or all")
 		seeds      = fs.Int("seeds", 3, "repetitions per sweep point")
 		colorer    = fs.String("colorer", "", "comma-separated coloring backends for the c-series head-to-heads (default all: "+strings.Join(mcnet.ColorerNames(), ",")+")")
+		execMode   = fs.String("exec", "", "pipeline execution mode: auto|goroutines|stepped (default auto; tables are identical, memory/wall-clock differ)")
 		quick      = fs.Bool("quick", false, "shrink sweeps for a fast run")
 		csv        = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel   = fs.Int("parallel", 0, "worker-pool size for multi-seed sweeps (0 = GOMAXPROCS, 1 = serial)")
@@ -102,7 +103,13 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 			colorers = append(colorers, name)
 		}
 	}
-	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick, Parallel: *parallel, Colorers: colorers}
+	exec, err := mcnet.ParseExecMode(*execMode)
+	if err != nil {
+		fmt.Fprintln(errOut, "mcagg:", err)
+		fatal(2)
+		return
+	}
+	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick, Parallel: *parallel, Colorers: colorers, Exec: exec}
 	var tables []*mcnet.Table
 	if strings.EqualFold(*exp, "all") {
 		ts, err := mcnet.AllExperimentsContext(ctx, o)

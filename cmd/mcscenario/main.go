@@ -62,6 +62,7 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		jamModel   = fs.String("jam-model", "oblivious", "jamming adversary: oblivious|roundrobin")
 		churn      = fs.String("churn", "0", "comma-separated crash rates in [0, 1]")
 		colorer    = fs.String("colorer", "", "coloring backend pinned in the spec: sec7|dplus1|hsb (default sec7)")
+		execMode   = fs.String("exec", "", "execution mode pinned in the spec: auto|goroutines|stepped (default auto)")
 		name       = fs.String("name", "mcscenario", "report title")
 		csv        = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		parallel   = fs.Int("parallel", 0, "worker-pool size for the sweep's runs (0 = GOMAXPROCS, 1 = serial)")
@@ -175,6 +176,7 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 			Seeds:    *seeds,
 			BaseSeed: *seed,
 			Colorer:  *colorer,
+			Exec:     *execMode,
 		}
 		if sc, err = sp.Scenario(); err != nil {
 			fail("%v", err)

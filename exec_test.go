@@ -1,0 +1,118 @@
+package mcnet
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// runExecIdentity builds the same network once per forced execution mode,
+// runs Aggregate on identical inputs, and requires the results and the full
+// event stream to match exactly. Everything a caller can observe — per-node
+// results, stage reports, channel utilization, fault reports, milestone
+// events — must be independent of the execution mode.
+func runExecIdentity(t *testing.T, name string, n int, opts ...Option) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		values := make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			values = append(values, int64(2*i+1))
+		}
+		run := func(mode ExecMode) (*AggregateResult, []Event) {
+			nw, err := New(n, append([]Option{Exec(mode)}, opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var (
+				mu     sync.Mutex
+				events []Event
+			)
+			nw.Events(func(ev Event) {
+				mu.Lock()
+				events = append(events, ev)
+				mu.Unlock()
+			})
+			if len(values) != nw.N() {
+				values = values[:nw.N()]
+			}
+			res, err := nw.Aggregate(context.Background(), values, Sum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(events, func(a, b int) bool {
+				if events[a].Slot != events[b].Slot {
+					return events[a].Slot < events[b].Slot
+				}
+				if events[a].Node != events[b].Node {
+					return events[a].Node < events[b].Node
+				}
+				if events[a].Name != events[b].Name {
+					return events[a].Name < events[b].Name
+				}
+				return events[a].Value < events[b].Value
+			})
+			return res, events
+		}
+		gRes, gEvents := run(ExecGoroutines)
+		sRes, sEvents := run(ExecStepped)
+		if !reflect.DeepEqual(gRes, sRes) {
+			for i := range gRes.Nodes {
+				if gRes.Nodes[i] != sRes.Nodes[i] {
+					t.Fatalf("node %d differs:\n goroutines %+v\n stepped    %+v", i, gRes.Nodes[i], sRes.Nodes[i])
+				}
+			}
+			t.Fatalf("results differ:\n goroutines %+v\n stepped    %+v", gRes, sRes)
+		}
+		if !reflect.DeepEqual(gEvents, sEvents) {
+			t.Fatalf("event streams differ: %d goroutine vs %d stepped events", len(gEvents), len(sEvents))
+		}
+	})
+}
+
+// TestAggregateExecIdentity is the facade-level golden of the execution-mode
+// guarantee: ExecGoroutines and ExecStepped produce identical AggregateResults
+// and event streams on the same network, across topologies, seeds and fault
+// layers. Run under -cpu 1,2,8 in CI so worker-count schedulings are covered
+// too.
+func TestAggregateExecIdentity(t *testing.T) {
+	for _, seed := range []uint64{3, 8} {
+		runExecIdentity(t, "crowd", 48, Seed(seed), Channels(4))
+	}
+	runExecIdentity(t, "uniform", 72, Seed(5), Channels(8), WithTopology(Uniform(12)))
+	runExecIdentity(t, "faults", 56, Seed(9), Channels(4),
+		Loss(0.02),
+		Jamming(1, JamOblivious),
+		Churn(ChurnSpec{CrashAt: map[int]int{7: 40}, Rate: 0.05, From: 100}))
+	if !testing.Short() {
+		runExecIdentity(t, "grid", 100, Seed(11), Channels(8), WithTopology(Grid))
+	}
+}
+
+// TestParseExecMode pins the CLI/spec name mapping both ways.
+func TestParseExecMode(t *testing.T) {
+	for name, want := range map[string]ExecMode{
+		"":           ExecAuto,
+		"auto":       ExecAuto,
+		"goroutines": ExecGoroutines,
+		"stepped":    ExecStepped,
+	} {
+		got, err := ParseExecMode(name)
+		if err != nil || got != want {
+			t.Errorf("ParseExecMode(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseExecMode("threads"); err == nil {
+		t.Error("ParseExecMode accepted an unknown mode")
+	}
+	for _, m := range []ExecMode{ExecAuto, ExecGoroutines, ExecStepped} {
+		back, err := ParseExecMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round trip of %v via %q failed: %v, %v", m, m.String(), back, err)
+		}
+	}
+	if err := func() error { _, err := New(2, Exec(ExecMode(99))); return err }(); err == nil {
+		t.Error("Exec accepted an out-of-range mode")
+	}
+}

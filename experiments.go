@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"mcnet/internal/coloring"
+	"mcnet/internal/core"
 	"mcnet/internal/expt"
 	"mcnet/internal/stats"
 )
@@ -30,6 +31,10 @@ type ExperimentOptions struct {
 	// subset of backend names (see ColorerNames); empty means every
 	// backend. Other experiments ignore it.
 	Colorers []string
+	// Exec pins the execution mode every aggregation run uses (default
+	// ExecAuto). Tables are bit-identical at every setting; the knob exists
+	// for memory/wall-clock measurement.
+	Exec ExecMode
 }
 
 // Table is a rendered experiment result.
@@ -72,7 +77,7 @@ func RunExperimentContext(ctx context.Context, id string, o ExperimentOptions) (
 			return nil, fmt.Errorf("mcnet: %w", err)
 		}
 	}
-	tb, err := runner(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel, Ctx: ctx, Colorers: o.Colorers})
+	tb, err := runner(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel, Ctx: ctx, Colorers: o.Colorers, Exec: core.ExecMode(o.Exec)})
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +93,7 @@ func AllExperiments(o ExperimentOptions) ([]*Table, error) {
 // experiments that completed before ctx fired are returned alongside the
 // error.
 func AllExperimentsContext(ctx context.Context, o ExperimentOptions) ([]*Table, error) {
-	ts, err := expt.All(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel, Ctx: ctx})
+	ts, err := expt.All(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel, Ctx: ctx, Exec: core.ExecMode(o.Exec)})
 	out := make([]*Table, len(ts))
 	for i, tb := range ts {
 		out[i] = &Table{t: tb}

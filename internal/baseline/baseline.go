@@ -13,8 +13,6 @@
 package baseline
 
 import (
-	"sort"
-
 	"mcnet/internal/agg"
 	"mcnet/internal/backbone"
 	"mcnet/internal/geo"
@@ -77,31 +75,9 @@ func SingleChannelTree(e *sim.Engine, values []int64, op agg.Op, deltaHint, hopB
 func TDMAByID(e *sim.Engine, pos []geo.Point, values []int64, op agg.Op) ([]SingleChannelResult, error) {
 	p := e.Field().Params()
 	n := len(pos)
-	g := graph.Build(pos, p.REps())
-	dist := g.BFS(0)
-	parent := bfsParents(g, dist)
-
-	// Reverse-BFS order for the up pass; BFS order for the down pass.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		da, db := dist[order[a]], dist[order[b]]
-		if da == -1 {
-			da = 1 << 30
-		}
-		if db == -1 {
-			db = 1 << 30
-		}
-		return da > db
-	})
-	upSlot := make([]int, n)
-	downSlot := make([]int, n)
-	for t, node := range order {
-		upSlot[node] = t
-		downSlot[node] = 2*n - 1 - t
-	}
+	sched := buildTDMASchedule(pos, p.REps())
+	parent, dist := sched.parent, sched.dist
+	upSlot, downSlot := sched.upSlot, sched.downSlot
 
 	out := make([]SingleChannelResult, n)
 	progs := make([]sim.Program, n)

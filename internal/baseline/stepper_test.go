@@ -1,0 +1,75 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcnet/internal/agg"
+	"mcnet/internal/model"
+	"mcnet/internal/phy"
+	"mcnet/internal/sim"
+	"mcnet/internal/topology"
+)
+
+// tdmaTrace is one resolved slot of a TDMA run, deep-copied for comparison.
+type tdmaTrace struct {
+	Slot    int
+	Txs     []phy.Tx
+	Listens []int
+	Decoded []bool
+}
+
+// TestTDMASteppedIdentity pins that TDMAByIDStepped reproduces TDMAByID's
+// transcript and per-node results bit for bit.
+func TestTDMASteppedIdentity(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		p := model.Default(1, 64)
+		pos := topology.UniformDegree(rnd, 50, p.REps(), 10)
+		values := make([]int64, 50)
+		for i := range values {
+			values[i] = int64(i*5 + 2)
+		}
+		run := func(stepped bool) ([]SingleChannelResult, []tdmaTrace, int) {
+			e := sim.NewEngine(phy.NewField(p, pos), uint64(seed))
+			var trace []tdmaTrace
+			e.Trace = func(slot int, txs []phy.Tx, rxs []phy.Rx, recs []phy.Reception) {
+				r := tdmaTrace{Slot: slot, Txs: append([]phy.Tx(nil), txs...)}
+				for i, rx := range rxs {
+					r.Listens = append(r.Listens, rx.Node)
+					r.Decoded = append(r.Decoded, recs[i].Msg != nil)
+				}
+				trace = append(trace, r)
+			}
+			var (
+				out []SingleChannelResult
+				err error
+			)
+			if stepped {
+				out, err = TDMAByIDStepped(e, pos, values, agg.Sum)
+			} else {
+				out, err = TDMAByID(e, pos, values, agg.Sum)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out, trace, len(trace)
+		}
+		gOut, gTrace, gSlots := run(false)
+		sOut, sTrace, sSlots := run(true)
+		if !reflect.DeepEqual(gOut, sOut) {
+			t.Fatalf("seed %d: results differ", seed)
+		}
+		if gSlots != sSlots {
+			t.Fatalf("seed %d: slot counts differ: %d vs %d", seed, gSlots, sSlots)
+		}
+		if !reflect.DeepEqual(gTrace, sTrace) {
+			for i := range gTrace {
+				if !reflect.DeepEqual(gTrace[i], sTrace[i]) {
+					t.Fatalf("seed %d: transcript diverges at slot %d", seed, gTrace[i].Slot)
+				}
+			}
+		}
+	}
+}

@@ -39,6 +39,9 @@ type Options struct {
 	// backend names; empty means every registered backend. Other experiment
 	// families ignore it.
 	Colorers []string
+	// Exec pins the pipeline execution mode for every aggregation run
+	// (default core.ExecAuto). Tables are bit-identical at every setting.
+	Exec core.ExecMode
 }
 
 // ctx resolves the sweep context.
@@ -85,6 +88,7 @@ func E1SpeedupVsChannels(o Options) (*stats.Table, error) {
 		pos := Crowd(p, n, uint64(s+1))
 		values, _ := sequentialValues(n)
 		cfg := core.DefaultConfig(p)
+		cfg.Exec = o.Exec
 		cfg.DeltaHat = n
 		cfg.PhiMax = 4
 		cfg.HopBound = 2
@@ -142,6 +146,7 @@ func E2AggVsN(o Options) (*stats.Table, error) {
 		pos := Crowd(p, n, uint64(s+11))
 		values, _ := sequentialValues(n)
 		cfg := core.DefaultConfig(p)
+		cfg.Exec = o.Exec
 		cfg.DeltaHat = n
 		cfg.PhiMax = 4
 		cfg.HopBound = 2
@@ -198,6 +203,7 @@ func E3Baselines(o Options) (*stats.Table, error) {
 			p := model.Default(f, n)
 			pos := Crowd(p, n, seed)
 			cfg := core.DefaultConfig(p)
+			cfg.Exec = o.Exec
 			cfg.DeltaHat = n
 			cfg.PhiMax = 4
 			cfg.HopBound = 2
@@ -293,6 +299,7 @@ func E4Coloring(o Options) (*stats.Table, error) {
 		p := model.Default(f, n)
 		pos := Crowd(p, n, uint64(s+31))
 		cfg := core.DefaultConfig(p)
+		cfg.Exec = o.Exec
 		cfg.DeltaHat = n
 		cfg.PhiMax = 4
 		cfg.HopBound = 2
@@ -501,6 +508,7 @@ func E7StructureBuild(o Options) (*stats.Table, error) {
 		n := ns[i]
 		p := model.Default(8, n)
 		cfg := core.DefaultConfig(p)
+		cfg.Exec = o.Exec
 		cfg.DeltaHat = n
 		pl := core.NewPlan(p, cfg)
 		covered := "-"
@@ -736,6 +744,7 @@ func E10DiameterTerm(o Options) (*stats.Table, error) {
 		}
 		values, _ := sequentialValues(n)
 		cfg := core.DefaultConfig(p)
+		cfg.Exec = o.Exec
 		cfg.DeltaHat = 24
 		cfg.PhiMax = 24
 		cfg.HopBound = 3*L + 6

@@ -53,6 +53,7 @@ func F1LossSweep(o Options) (*stats.Table, error) {
 		pos := Crowd(p, n, uint64(s+71))
 		values, _ := sequentialValues(n)
 		cfg := core.DefaultConfig(p)
+		cfg.Exec = o.Exec
 		cfg.DeltaHat = n
 		cfg.PhiMax = 4
 		cfg.HopBound = 2
@@ -126,6 +127,7 @@ func F2JamSweep(o Options) (*stats.Table, error) {
 		pos := Crowd(p, n, uint64(s+81))
 		values, _ := sequentialValues(n)
 		cfg := core.DefaultConfig(p)
+		cfg.Exec = o.Exec
 		cfg.DeltaHat = n
 		cfg.PhiMax = 4
 		cfg.HopBound = 2
@@ -184,6 +186,7 @@ func F3ChurnSweep(o Options) (*stats.Table, error) {
 		pos := Crowd(p, n, uint64(s+91))
 		values, _ := sequentialValues(n)
 		cfg := core.DefaultConfig(p)
+		cfg.Exec = o.Exec
 		cfg.DeltaHat = n
 		cfg.PhiMax = 4
 		cfg.HopBound = 2

@@ -1,0 +1,23 @@
+package rng
+
+import "testing"
+
+func TestStreamsMatchesStream(t *testing.T) {
+	rs := Streams(42, 8)
+	for i, r := range rs {
+		want := Stream(42, i)
+		for k := 0; k < 16; k++ {
+			if a, b := r.Uint64(), want.Uint64(); a != b {
+				t.Fatalf("stream %d draw %d: %d != %d", i, k, a, b)
+			}
+		}
+	}
+}
+
+func TestStreamsAllocs(t *testing.T) {
+	n := 1024
+	allocs := testing.AllocsPerRun(5, func() { _ = Streams(7, n) })
+	if allocs > 8 {
+		t.Errorf("Streams(%d) allocates %.0f times per run; want a handful of arena allocations", n, allocs)
+	}
+}

@@ -77,7 +77,56 @@ func benchEngineBarrier(b *testing.B, n int, mode BarrierMode) {
 	b.ReportMetric(float64(50*n*b.N)/b.Elapsed().Seconds(), "node-slots/s")
 }
 
+// benchChatter is the Stepper form of the barrier bench workload: the same
+// draws, no goroutine or barrier involved.
+type benchChatter struct {
+	rounds, s int
+}
+
+func (c *benchChatter) Step(sc *StepCtx) {
+	if c.s >= c.rounds {
+		sc.Done()
+		return
+	}
+	s := c.s
+	c.s++
+	if sc.Rand.Float64() < 0.1 {
+		sc.Transmit(sc.Rand.Intn(4), s)
+	} else {
+		sc.Listen(sc.Rand.Intn(4))
+	}
+}
+
+// benchEngineStepped drives the barrier bench workload in the goroutine-free
+// stepped mode: there is no slot barrier at all, so the gap against the
+// barrier sub-benches is the whole goroutine park/unpark + barrier term.
+func benchEngineStepped(b *testing.B, n int) {
+	b.Helper()
+	pos := make([]geo.Point, n)
+	for i := range pos {
+		pos[i] = geo.Point{X: float64(i%64) * 0.2, Y: float64(i/64) * 0.2}
+	}
+	f := phy.NewField(model.Default(4, n), pos)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(f, uint64(i))
+		steppers := make([]Stepper, n)
+		arena := make([]benchChatter, n)
+		for j := range steppers {
+			arena[j] = benchChatter{rounds: 50}
+			steppers[j] = &arena[j]
+		}
+		if _, err := e.RunSteppers(steppers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(50*n*b.N)/b.Elapsed().Seconds(), "node-slots/s")
+}
+
 func BenchmarkEngineBarrier(b *testing.B) {
 	b.Run("global/n=4k", func(b *testing.B) { benchEngineBarrier(b, 4096, BarrierGlobal) })
 	b.Run("sharded/n=4k", func(b *testing.B) { benchEngineBarrier(b, 4096, BarrierSharded) })
+	b.Run("stepped/n=4k", func(b *testing.B) { benchEngineStepped(b, 4096) })
+	b.Run("sharded/n=65k", func(b *testing.B) { benchEngineBarrier(b, 65536, BarrierSharded) })
+	b.Run("stepped/n=65k", func(b *testing.B) { benchEngineStepped(b, 65536) })
 }

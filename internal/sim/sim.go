@@ -1,22 +1,49 @@
 // Package sim provides the synchronous multi-channel network simulator.
 //
-// Each node runs its protocol as ordinary sequential Go code in its own
-// goroutine. Per slot, every live node performs exactly one primitive —
-// Transmit, Listen, or Idle — and blocks until the engine has collected one
-// action from every live node, resolved the slot with the SINR layer
-// (internal/phy), and delivered the outcomes. This matches the paper's
-// synchronized-round model (Sec. 2): in each slot a node selects one of the
-// F channels and either transmits or listens on it.
+// Per slot, every live node performs exactly one primitive — Transmit,
+// Listen, or Idle — and the engine collects one action from every live
+// node, resolves the slot with the SINR layer (internal/phy), and delivers
+// the outcomes. This matches the paper's synchronized-round model (Sec. 2):
+// in each slot a node selects one of the F channels and either transmits or
+// listens on it.
+//
+// # Execution modes
+//
+// A node protocol comes in two interchangeable forms:
+//
+//   - A goroutine Program: ordinary sequential Go code in its own
+//     goroutine, blocking at each primitive until the slot resolves. The
+//     natural way to write a protocol, at the cost of one stack and one
+//     park/unpark per node per slot.
+//   - A Stepper: protocol state in an explicit struct, driven inline by the
+//     engine with one Step call per slot — no goroutine, no stack, no
+//     parking. The crowd-scale fast path (see stepper.go).
+//
+// Both forms interoperate in one run (RunMixed) and produce bit-identical
+// transcripts by construction: either way actions land in per-node pending
+// slots that the engine scans in node order, so the scheduler decides when
+// a node's action lands, never the resolved transcript.
 //
 // # Slot barrier
 //
-// A slot costs one synchronization round, not one rendezvous per node: nodes
-// deposit their action into a shared per-node slot (no contention — node i
-// writes only index i), the last arriver hands the engine a single wake
-// token, and after resolution the engine releases every node at once by
-// closing the slot's release channel. Each node therefore parks at most once
-// per slot, and the engine parks once, instead of the two blocking channel
-// handoffs per node per slot of a naive design.
+// A slot costs one synchronization round, not one rendezvous per node:
+// goroutine nodes deposit their action into a shared per-node slot (no
+// contention — node i writes only index i), the last arriver hands the
+// engine a single wake token, and after resolution the engine releases all
+// of them at once by closing the slot's release channel. Each node
+// therefore parks at most once per slot, and the engine parks once, instead
+// of the two blocking channel handoffs per node per slot of a naive design.
+// Stepped nodes never touch the barrier — the engine drives them inside its
+// own quiescent window.
+//
+// # Idle wake-wheel
+//
+// IdleFor(k) takes a node out of circulation for k slots: off the barrier
+// (goroutine form) or off the awake list (stepped form), registered in a
+// calendar queue keyed by wake slot (wheel.go). Sleeping nodes cost nothing
+// per slot; the engine pops one wheel bucket per slot to wake the nodes
+// whose batch just ended, so mixed active/idle populations fast-forward
+// past the sleepers.
 //
 // Determinism: node programs draw randomness only from ctx.Rand, a per-node
 // stream derived from (run seed, node ID), and slot resolution is
@@ -227,7 +254,7 @@ type roundState struct {
 // consecutive Run calls on the same engine (startSlot), so staged protocols
 // measure cumulative time; use a fresh engine for independent runs.
 func (e *Engine) Run(programs []Program) (slots int, err error) {
-	return e.run(context.Background(), programs, 0)
+	return e.run(context.Background(), programs, nil, 0)
 }
 
 // RunContext is like Run but aborts the round loop as soon as ctx is
@@ -235,54 +262,107 @@ func (e *Engine) Run(programs []Program) (slots int, err error) {
 // while waiting for node actions, so it takes effect promptly even during
 // long schedules.
 func (e *Engine) RunContext(ctx context.Context, programs []Program) (slots int, err error) {
-	return e.run(ctx, programs, 0)
+	return e.run(ctx, programs, nil, 0)
 }
 
 // RunFrom is like Run but starts the slot counter at startSlot, for staged
 // pipelines that want globally consistent event timestamps.
 func (e *Engine) RunFrom(startSlot int, programs []Program) (slots int, err error) {
-	return e.run(context.Background(), programs, startSlot)
+	return e.run(context.Background(), programs, nil, startSlot)
 }
 
 // RunFromContext combines RunFrom and RunContext.
 func (e *Engine) RunFromContext(ctx context.Context, startSlot int, programs []Program) (slots int, err error) {
-	return e.run(ctx, programs, startSlot)
+	return e.run(ctx, programs, nil, startSlot)
 }
 
-func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (int, error) {
+// RunSteppers executes one Stepper per node in the goroutine-free mode —
+// the Stepper-form counterpart of Run, with identical semantics and (for a
+// faithfully ported protocol) an identical transcript.
+func (e *Engine) RunSteppers(steppers []Stepper) (slots int, err error) {
+	return e.run(context.Background(), nil, steppers, 0)
+}
+
+// RunSteppersContext combines RunSteppers and RunContext.
+func (e *Engine) RunSteppersContext(ctx context.Context, steppers []Stepper) (slots int, err error) {
+	return e.run(ctx, nil, steppers, 0)
+}
+
+// RunMixed executes a mixed population: node i runs steppers[i] when
+// non-nil, programs[i] otherwise (either slice may be nil for "none of this
+// form"). Both forms share the slot clock, the resolver, and the fault
+// injector, and a node's form never shows in the transcript.
+func (e *Engine) RunMixed(programs []Program, steppers []Stepper) (slots int, err error) {
+	return e.run(context.Background(), programs, steppers, 0)
+}
+
+// RunMixedContext combines RunMixed and RunContext.
+func (e *Engine) RunMixedContext(ctx context.Context, programs []Program, steppers []Stepper) (slots int, err error) {
+	return e.run(ctx, programs, steppers, 0)
+}
+
+func (e *Engine) run(ctx context.Context, programs []Program, steppers []Stepper, startSlot int) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	n := e.field.N()
-	if len(programs) != n {
-		return 0, fmt.Errorf("sim: %d programs for %d nodes", len(programs), n)
-	}
 	if n == 0 {
 		return 0, nil
+	}
+	if programs == nil && steppers == nil {
+		return 0, fmt.Errorf("sim: no programs or steppers for %d nodes", n)
+	}
+	if programs != nil && len(programs) != n {
+		return 0, fmt.Errorf("sim: %d programs for %d nodes", len(programs), n)
+	}
+	if steppers != nil && len(steppers) != n {
+		return 0, fmt.Errorf("sim: %d steppers for %d nodes", len(steppers), n)
 	}
 	maxSlots := e.MaxSlots
 	if maxSlots <= 0 {
 		maxSlots = DefaultMaxSlots
 	}
 
+	// Split the population: node i is stepped iff steppers[i] is non-nil;
+	// every other node is a goroutine Program node (a nil Program powers
+	// down immediately). Only program nodes touch the barrier.
+	nSteppers := 0
+	if steppers != nil {
+		for i := 0; i < n; i++ {
+			if steppers[i] != nil {
+				nSteppers++
+			}
+		}
+	}
+	nProgs := n - nSteppers
+
 	rs := &roundState{
-		pending:  make([]action, n),
-		results:  make([]phy.Reception, n),
-		done:     make([]atomic.Bool, n),
-		wake:     make(chan struct{}, 1),
-		idleWake: make([]chan struct{}, n),
-		stop:     make(chan struct{}),
+		pending: make([]action, n),
+		results: make([]phy.Reception, n),
+		done:    make([]atomic.Bool, n),
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
 	}
-	for i := range rs.idleWake {
-		rs.idleWake[i] = make(chan struct{}, 1)
+	rec := &panicRecorder{}
+	nodeParams := e.field.Params()
+	if e.NodeParams != nil {
+		nodeParams = *e.NodeParams
 	}
+	var sr *steppedRun
+	if nSteppers > 0 {
+		sr = newSteppedRun(e, rs, steppers, nodeParams, startSlot)
+	}
+	isStepped := func(i int) bool { return sr != nil && sr.state[i] != stepNone }
+
 	// Barrier selection: per-region shards at crowd scale (or on request),
-	// the single packed word otherwise. shardExpect mirrors, per shard, the
-	// live non-idling member count the engine tracks globally in
+	// the single packed word otherwise. Only goroutine nodes arrive at the
+	// barrier, so both the mode choice and the per-shard expectations count
+	// program nodes only. shardExpect mirrors, per shard, the live
+	// non-idling program-node count the engine tracks globally in
 	// expectCount; both are engine-private and updated in the quiescent
 	// window only.
 	var shardExpect []int32
-	if e.Barrier == BarrierSharded || (e.Barrier == BarrierAuto && n >= shardedBarrierMinNodes) {
+	if nProgs > 0 && (e.Barrier == BarrierSharded || (e.Barrier == BarrierAuto && nProgs >= shardedBarrierMinNodes)) {
 		if e.sharding == nil {
 			e.sharding = buildShardPlan(e.field.Positions(), e.field.Params().RT())
 		}
@@ -290,60 +370,65 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 		rs.shardOf = e.sharding.of
 		shardExpect = make([]int32, e.sharding.count)
 		for i := 0; i < n; i++ {
-			shardExpect[rs.shardOf[i]]++
+			if !isStepped(i) {
+				shardExpect[rs.shardOf[i]]++
+			}
 		}
 	}
-	rs.openGates(n, shardExpect)
+	rs.openGates(nProgs, shardExpect)
 	rel := make(chan struct{})
 	rs.release.Store(&rel)
 
-	var (
-		panicMu    sync.Mutex
-		firstPanic error
-	)
-	exited := make([]chan struct{}, n)
-	for i := 0; i < n; i++ {
-		exited[i] = make(chan struct{})
-		nodeParams := e.field.Params()
-		if e.NodeParams != nil {
-			nodeParams = *e.NodeParams
-		}
-		nctx := &Ctx{
-			id:      i,
-			engine:  e,
-			params:  nodeParams,
-			Rand:    rng.Stream(e.seed, i),
-			rs:      rs,
-			slot:    startSlot,
-			crashAt: math.MaxInt,
-		}
-		if e.Faults != nil {
-			nctx.crashAt = e.Faults.CrashSlot(i)
-		}
-		prog := programs[i]
-		go func(i int, nctx *Ctx) {
-			defer close(exited[i])
-			defer func() {
-				r := recover()
-				if r != nil {
-					if _, isStop := r.(stopSignal); !isStop {
-						panicMu.Lock()
-						if firstPanic == nil {
-							firstPanic = fmt.Errorf("sim: node %d panicked: %v", i, r)
-						}
-						panicMu.Unlock()
-					}
-				}
-				// Terminating counts as this node's arrival for the slot in
-				// progress; the done flag is set first so the engine retires
-				// the node before resolving.
-				rs.done[i].Store(true)
-				rs.arrive(i)
-			}()
-			if prog != nil {
-				prog(nctx)
+	var wg sync.WaitGroup
+	if nProgs > 0 {
+		rs.idleWake = make([]chan struct{}, n)
+		// One contiguous Ctx arena instead of one allocation per node, and
+		// one flat generator arena instead of two allocations per node.
+		ctxs := make([]Ctx, n)
+		rands := rng.Streams(e.seed, n)
+		wg.Add(nProgs)
+		for i := 0; i < n; i++ {
+			if isStepped(i) {
+				continue
 			}
-		}(i, nctx)
+			rs.idleWake[i] = make(chan struct{}, 1)
+			nctx := &ctxs[i]
+			*nctx = Ctx{
+				id:      i,
+				engine:  e,
+				params:  nodeParams,
+				Rand:    rands[i],
+				rs:      rs,
+				slot:    startSlot,
+				crashAt: math.MaxInt,
+			}
+			if e.Faults != nil {
+				nctx.crashAt = e.Faults.CrashSlot(i)
+			}
+			var prog Program
+			if programs != nil {
+				prog = programs[i]
+			}
+			go func(i int, nctx *Ctx, prog Program) {
+				defer wg.Done()
+				defer func() {
+					r := recover()
+					if r != nil {
+						if _, isStop := r.(stopSignal); !isStop {
+							rec.record(i, r)
+						}
+					}
+					// Terminating counts as this node's arrival for the slot
+					// in progress; the done flag is set first so the engine
+					// retires the node before resolving.
+					rs.done[i].Store(true)
+					rs.arrive(i)
+				}()
+				if prog != nil {
+					prog(nctx)
+				}
+			}(i, nctx, prog)
+		}
 	}
 
 	abort := func() {
@@ -351,23 +436,26 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 		close(rs.stop)
 		// Free every parked node: steps sample the abort flag before
 		// blocking, so anything released here unwinds at its next step.
+		// Stepped nodes need no unwinding — the engine simply stops driving
+		// them.
 		close(*rs.release.Load())
-		for i := 0; i < n; i++ {
-			<-exited[i]
-		}
+		wg.Wait()
 	}
 
 	active := make([]bool, n)
 	for i := range active {
 		active[i] = true
 	}
-	// nActive counts live nodes; idling counts those parked mid-IdleFor.
-	// Per slot the barrier expects nActive − idling arrivals. wakeAt maps an
-	// engine slot to the nodes whose idle batch ends with it.
+	// nActive counts all live nodes and decides termination; progActive and
+	// progIdling track the goroutine subset (live, and parked mid-IdleFor)
+	// that the barrier bookkeeping is about. The wheel holds every sleeping
+	// node — both forms — keyed by the slot it acts again in.
 	nActive := n
-	idling := 0
-	expectCount := n
-	wakeAt := make(map[int][]int)
+	progActive := nProgs
+	progIdling := 0
+	expectCount := nProgs
+	wheel := newWakeWheel()
+	due := make([]int32, 0, 64)
 
 	// The run's slot arena: action and reception buffers sized for every
 	// node once up front, and the field's struct-of-arrays / grid-bin
@@ -379,26 +467,35 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 
 	slot := startSlot
 	for used := 0; ; used++ {
-		// Collect the slot while retiring terminated nodes and registering
-		// fresh IdleFor batches — one fused pass over the node set.
 		txs, rxs = txs[:0], rxs[:0]
 		if expectCount > 0 {
 			// One wake token per slot: the last arrival of the barrier.
 			// From here until the release at the bottom of the loop every
-			// live node is parked, so the engine owns all shared state.
+			// live program node is parked, so the engine owns all shared
+			// state.
 			select {
 			case <-rs.wake:
 			case <-ctx.Done():
 				abort()
 				return slot - startSlot, ctx.Err()
 			}
-			panicMu.Lock()
-			pErr := firstPanic
-			panicMu.Unlock()
-			if pErr != nil {
-				abort()
-				return slot - startSlot, pErr
-			}
+		}
+		// Drive the awake stepped nodes inline: each deposits its action for
+		// this slot into pending, exactly where a goroutine node's primitive
+		// would have put it. This runs inside the quiescent window, after
+		// the barrier wake above (trivially so when no program arrivals are
+		// expected).
+		if sr != nil && len(sr.awake) > 0 {
+			sr.stepAll(slot, rec)
+		}
+		if pErr := rec.get(); pErr != nil {
+			abort()
+			return slot - startSlot, pErr
+		}
+		if expectCount > 0 || (sr != nil && len(sr.awake) > 0) {
+			// Collect the slot while retiring terminated nodes and
+			// registering fresh IdleFor batches — one fused pass over the
+			// node set.
 			for i := 0; i < n; i++ {
 				if !active[i] {
 					continue
@@ -406,8 +503,13 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 				if rs.done[i].Load() {
 					active[i] = false
 					nActive--
-					if shardExpect != nil {
-						shardExpect[rs.shardOf[i]]--
+					if isStepped(i) {
+						sr.state[i] = stepDead
+					} else {
+						progActive--
+						if shardExpect != nil {
+							shardExpect[rs.shardOf[i]]--
+						}
 					}
 					continue
 				}
@@ -418,21 +520,28 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 					rxs = append(rxs, phy.Rx{Node: i, Channel: rs.pending[i].ch})
 				case actIdleLong:
 					// A fresh IdleFor batch: the node idles from this slot
-					// through slot+count-1 and skips those barriers.
+					// through slot+count-1 and sleeps through those slots.
 					end := slot + rs.pending[i].count - 1
-					wakeAt[end] = append(wakeAt[end], i)
+					wheel.add(i, end+1)
 					rs.pending[i].kind = actIdleHold
-					idling++
-					if shardExpect != nil {
-						shardExpect[rs.shardOf[i]]--
+					if isStepped(i) {
+						sr.state[i] = stepSleeping
+					} else {
+						progIdling++
+						if shardExpect != nil {
+							shardExpect[rs.shardOf[i]]--
+						}
 					}
 				}
+			}
+			if sr != nil {
+				sr.compact()
 			}
 			if nActive == 0 {
 				return slot - startSlot, nil
 			}
 		}
-		// else: every live node is parked mid-IdleFor — nothing can arrive,
+		// else: every live node sleeps mid-IdleFor — nothing can arrive,
 		// terminate, or panic, so the engine advances the (empty) slot
 		// directly.
 		if err := ctx.Err(); err != nil {
@@ -475,27 +584,37 @@ func (e *Engine) run(ctx context.Context, programs []Program, startSlot int) (in
 		// Open the next slot and release everyone at once. Order matters:
 		// expect and arrived must be current and the new release channel
 		// installed before the old one closes, because released nodes
-		// re-enter the barrier immediately. Idle batches ending with the
-		// slot just resolved rejoin the barrier before the release and are
-		// woken through their private channels after it.
-		ending := wakeAt[slot-1]
-		if len(ending) > 0 {
-			delete(wakeAt, slot-1)
-			idling -= len(ending)
-			if shardExpect != nil {
-				for _, i := range ending {
+		// re-enter the barrier immediately. Sleepers due now pop off the
+		// wheel: program nodes rejoin the barrier before the release and
+		// are woken through their private channels after it; stepped nodes
+		// rejoin the awake list and get stepped at the top of the loop.
+		due = wheel.pop(slot, due[:0])
+		endingProgs := 0
+		for _, id := range due {
+			i := int(id)
+			if isStepped(i) {
+				sr.state[i] = stepAwake
+				sr.awake = append(sr.awake, id)
+			} else {
+				endingProgs++
+				progIdling--
+				if shardExpect != nil {
 					shardExpect[rs.shardOf[i]]++
 				}
 			}
 		}
-		expectCount = nActive - idling
+		expectCount = progActive - progIdling
 		rs.openGates(expectCount, shardExpect)
 		next := make(chan struct{})
 		old := rs.release.Load()
 		rs.release.Store(&next)
 		close(*old)
-		for _, i := range ending {
-			rs.idleWake[i] <- struct{}{}
+		if endingProgs > 0 {
+			for _, id := range due {
+				if !isStepped(int(id)) {
+					rs.idleWake[id] <- struct{}{}
+				}
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mcnet/internal/coloring"
+	"mcnet/internal/core"
 	"mcnet/internal/fault"
 )
 
@@ -34,6 +35,7 @@ type settings struct {
 	faulted bool
 
 	colorer string // coloring backend name; "" = sec7
+	exec    ExecMode
 }
 
 func defaultSettings() settings {
@@ -210,6 +212,52 @@ func Colorer(name string) Option {
 
 // ColorerNames lists the registered coloring backend names, default first.
 func ColorerNames() []string { return coloring.Names() }
+
+// ExecMode selects how Aggregate executes the per-node protocol code. All
+// modes produce bit-identical transcripts, results and events — the knob
+// trades memory and wall-clock time only.
+type ExecMode int
+
+const (
+	// ExecAuto (the default) picks per run: goroutine programs on small
+	// deployments, the goroutine-free stepped engine at crowd scale (64k
+	// goroutine stacks cost gigabytes; steppers keep per-node state in flat
+	// structs).
+	ExecAuto ExecMode = ExecMode(core.ExecAuto)
+	// ExecGoroutines forces one goroutine per node.
+	ExecGoroutines ExecMode = ExecMode(core.ExecGoroutines)
+	// ExecStepped forces the goroutine-free stepped engine.
+	ExecStepped ExecMode = ExecMode(core.ExecStepped)
+)
+
+// String returns the mode's CLI/spec name: auto, goroutines or stepped.
+func (m ExecMode) String() string { return core.ExecMode(m).String() }
+
+// ParseExecMode maps a CLI/spec name ("auto", "goroutines", "stepped"; ""
+// means auto) to its ExecMode.
+func ParseExecMode(name string) (ExecMode, error) {
+	switch name {
+	case "", "auto":
+		return ExecAuto, nil
+	case "goroutines":
+		return ExecGoroutines, nil
+	case "stepped":
+		return ExecStepped, nil
+	}
+	return ExecAuto, fmt.Errorf("mcnet: unknown exec mode %q (valid: auto, goroutines, stepped)", name)
+}
+
+// Exec selects the execution mode (default ExecAuto). See ExecMode.
+func Exec(m ExecMode) Option {
+	return func(s *settings) error {
+		switch m {
+		case ExecAuto, ExecGoroutines, ExecStepped:
+			s.exec = m
+			return nil
+		}
+		return fmt.Errorf("mcnet: invalid exec mode %d", int(m))
+	}
+}
 
 // JamModel selects the jamming adversary's channel-selection strategy for
 // the Jamming option.
