@@ -30,6 +30,11 @@ type RunSpec struct {
 	Jam      int
 	JamModel JamModel
 	Churn    ChurnSpec
+	// Byz and ByzStrategy configure the Byzantine population with the
+	// semantics of the Byzantine option: Byz is the fraction of nodes
+	// corrupted, ByzStrategy what they do.
+	Byz         float64
+	ByzStrategy ByzStrategy
 	// Faulted forces the fault layer on even at zero intensity — the
 	// Loss(0) idiom: the run replays the fault-free transcript bit-for-bit
 	// but its result carries a FaultReport.
@@ -57,13 +62,15 @@ func (rs RunSpec) faultSpec() fault.Spec {
 	}
 	fs.CrashRate = rs.Churn.Rate
 	fs.CrashFrom, fs.CrashUntil = rs.Churn.From, rs.Churn.Until
+	fs.Byz.Fraction = rs.Byz
+	fs.Byz.Strategy = fault.ByzStrategy(rs.ByzStrategy)
 	return fs
 }
 
 // faulted reports whether the spec carries its own fault layer.
 func (rs RunSpec) faulted() bool {
 	return rs.Faulted || rs.Loss != 0 || rs.Jam != 0 || rs.Churn.Rate != 0 ||
-		len(rs.Churn.CrashAt) > 0
+		len(rs.Churn.CrashAt) > 0 || rs.Byz != 0
 }
 
 // BatchOptions tunes RunBatch's execution; the zero value uses every core
@@ -187,6 +194,7 @@ func (nw *Network) withFaults(spec fault.Spec) (*Network, error) {
 		exact:       nw.exact,
 		farFieldTol: nw.farFieldTol,
 		cellFrac:    nw.cellFrac,
+		kernel32:    nw.kernel32,
 		faults:      spec,
 		faulted:     true,
 		colorer:     nw.colorer,

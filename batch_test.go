@@ -50,10 +50,11 @@ func TestRunScenarioParallelIdentity(t *testing.T) {
 
 // TestExperimentParallelIdentity checks experiment tables are byte-identical
 // across worker counts; e1 exercises the plain grid sweep, f2 the fault
-// sweeps with their point-list flattening, and e10 the skip-on-disconnected
-// fold.
+// sweeps with their point-list flattening, e10 the skip-on-disconnected
+// fold, and f4 the Byzantine degradation sweep of the acceptance criterion:
+// its table must be byte-identical at every worker count.
 func TestExperimentParallelIdentity(t *testing.T) {
-	for _, id := range []string{"e1", "f2", "e10"} {
+	for _, id := range []string{"e1", "f2", "f4", "e10"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

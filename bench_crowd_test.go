@@ -139,6 +139,25 @@ func BenchmarkAggregateCrowdLarge(b *testing.B) {
 	b.Run("n=1M", func(b *testing.B) { benchAggregateCrowdSlots(b, 1048576, 16) })
 }
 
+// BenchmarkAggregateByz measures the Byzantine fault layer on the n=16k
+// crowd. "off" is the zero-valued ByzSpec — the hook must cost nothing, so
+// its ns/op reads directly against BenchmarkAggregateCrowd/n=16k as the
+// no-adversary overhead (target: zero). "corrupt" and "equivocate" pay the
+// per-transmission lie on 20% of nodes; "reactive" adds the decode-tracking
+// jammer on top.
+func BenchmarkAggregateByz(b *testing.B) {
+	b.Run("off/n=16k", func(b *testing.B) {
+		benchAggregateCrowdSlots(b, 16384, benchCrowdSlots, Byzantine(0, ByzCorrupt))
+	})
+	b.Run("corrupt/n=16k", func(b *testing.B) {
+		benchAggregateCrowdSlots(b, 16384, benchCrowdSlots, Byzantine(0.2, ByzCorrupt))
+	})
+	b.Run("equivocate-jam/n=16k", func(b *testing.B) {
+		benchAggregateCrowdSlots(b, 16384, benchCrowdSlots,
+			Byzantine(0.2, ByzEquivocate), Jamming(1, JamReactive))
+	})
+}
+
 // BenchmarkAggregateCrowdF32 is the n=16k crowd under the Float32Kernel
 // knob: same slot budget as BenchmarkAggregateCrowd/n=16k, so the two ns/op
 // values read directly as the f32 kernel's speedup on the SINR term.

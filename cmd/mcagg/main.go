@@ -7,6 +7,7 @@
 //	mcagg -exp all -seeds 5  # the full suite, 5 seeds per point
 //	mcagg -exp e3 -quick     # shrunken sweep for a fast look
 //	mcagg -exp e1 -csv       # machine-readable output
+//	mcagg -exp f4 -byz 0,0.1,0.3 -jam-model reactive  # byzantine sweep, pinned axes
 //
 // Hot-path regressions can be profiled without editing code:
 //
@@ -22,6 +23,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -35,8 +37,10 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 	fs := flag.NewFlagSet("mcagg", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		exp        = fs.String("exp", "all", "experiment id: e1..e10, a1..a3, f1..f3, c1..c3 or all")
+		exp        = fs.String("exp", "all", "experiment id: e1..e10, a1..a3, f1..f6, c1..c3 or all")
 		seeds      = fs.Int("seeds", 3, "repetitions per sweep point")
+		byz        = fs.String("byz", "", "comma-separated byzantine fractions in [0, 1] overriding the f4/f6 sweep axis (default each experiment's axis)")
+		jamModel   = fs.String("jam-model", "", "comma-separated jamming adversaries for the f4/f5 sweeps (default all relevant: "+strings.Join(mcnet.JamModelNames(), ",")+")")
 		colorer    = fs.String("colorer", "", "comma-separated coloring backends for the c-series head-to-heads (default all: "+strings.Join(mcnet.ColorerNames(), ",")+")")
 		execMode   = fs.String("exec", "", "pipeline execution mode: auto|goroutines|stepped (default auto; tables are identical, memory/wall-clock differ)")
 		quick      = fs.Bool("quick", false, "shrink sweeps for a fast run")
@@ -109,7 +113,48 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		fatal(2)
 		return
 	}
-	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick, Parallel: *parallel, Colorers: colorers, Exec: exec}
+	var byzFracs []float64
+	if *byz != "" {
+		for _, part := range strings.Split(*byz, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			frac, err := strconv.ParseFloat(part, 64)
+			if err != nil {
+				fmt.Fprintf(errOut, "mcagg: -byz: bad value %q\n", part)
+				fatal(2)
+				return
+			}
+			if frac < 0 || frac > 1 {
+				fmt.Fprintf(errOut, "mcagg: -byz value %v must be in [0, 1]\n", frac)
+				fatal(2)
+				return
+			}
+			byzFracs = append(byzFracs, frac)
+		}
+	}
+	var jamModels []string
+	if *jamModel != "" {
+		valid := make(map[string]bool)
+		for _, name := range mcnet.JamModelNames() {
+			valid[name] = true
+		}
+		for _, name := range strings.Split(*jamModel, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !valid[name] {
+				fmt.Fprintf(errOut, "mcagg: unknown jam model %q (valid: %s)\n",
+					name, strings.Join(mcnet.JamModelNames(), ", "))
+				fatal(2)
+				return
+			}
+			jamModels = append(jamModels, name)
+		}
+	}
+	o := mcnet.ExperimentOptions{Seeds: *seeds, Quick: *quick, Parallel: *parallel, Colorers: colorers, Exec: exec, Byz: byzFracs, JamModels: jamModels}
 	var tables []*mcnet.Table
 	if strings.EqualFold(*exp, "all") {
 		ts, err := mcnet.AllExperimentsContext(ctx, o)

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mcnet"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -64,6 +66,65 @@ func TestRunColorerValidation(t *testing.T) {
 	msg := errBuf.String()
 	if !strings.Contains(msg, "rainbow") || !strings.Contains(msg, "sec7") {
 		t.Errorf("unhelpful error: %q", msg)
+	}
+}
+
+// TestRunByzJamFlagValidation: -byz fractions outside [0, 1] (or garbage)
+// and unknown -jam-model names exit 2 without output on stdout.
+func TestRunByzJamFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"byz above one", []string{"-exp", "f4", "-byz", "1.5"}, "[0, 1]"},
+		{"byz negative", []string{"-exp", "f4", "-byz", "0,-0.2"}, "[0, 1]"},
+		{"byz garbage", []string{"-exp", "f4", "-byz", "lots"}, "-byz"},
+		{"unknown jam model", []string{"-exp", "f5", "-jam-model", "psychic"}, "psychic"},
+	}
+	for _, tc := range cases {
+		var buf, errBuf bytes.Buffer
+		exitCode := -1
+		run(tc.args, &buf, &errBuf, func(c int) { exitCode = c })
+		if exitCode != 2 {
+			t.Errorf("%s: exit code %d, want 2", tc.name, exitCode)
+			continue
+		}
+		if !strings.Contains(errBuf.String(), tc.frag) {
+			t.Errorf("%s: stderr %q does not mention %q", tc.name, errBuf.String(), tc.frag)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("%s: error leaked to stdout: %q", tc.name, buf.String())
+		}
+	}
+	// The jam-model error must list every valid name, not just reject.
+	var buf, errBuf bytes.Buffer
+	run([]string{"-exp", "f5", "-jam-model", "psychic"}, &buf, &errBuf, func(int) {})
+	for _, name := range mcnet.JamModelNames() {
+		if !strings.Contains(errBuf.String(), name) {
+			t.Errorf("jam-model error does not list %q: %q", name, errBuf.String())
+		}
+	}
+}
+
+// TestRunF4PinnedAxes: a quick f4 run with -byz/-jam-model overrides
+// sweeps only the requested points.
+func TestRunF4PinnedAxes(t *testing.T) {
+	var buf, errBuf bytes.Buffer
+	exitCode := -1
+	run([]string{"-exp", "f4", "-quick", "-seeds", "1", "-byz", "0,0.2", "-jam-model", "roundrobin", "-csv"},
+		&buf, &errBuf, func(c int) { exitCode = c })
+	if exitCode != -1 {
+		t.Fatalf("exit code %d: %s", exitCode, errBuf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "roundrobin") {
+		t.Errorf("missing roundrobin rows:\n%s", out)
+	}
+	for _, banned := range []string{"oblivious", "reactive", "adaptive"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("axis not pinned: found %q rows:\n%s", banned, out)
+		}
 	}
 }
 

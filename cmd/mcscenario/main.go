@@ -1,6 +1,7 @@
 // Command mcscenario sweeps fault-intensity grids over the multichannel
 // aggregation pipeline: probabilistic message loss, adversarial channel
-// jamming and node churn, in every combination, with medians over seeded
+// jamming (oblivious, round-robin, reactive or adaptive), node churn and
+// Byzantine node fractions, in every combination, with medians over seeded
 // repetitions. Runs execute across a worker pool (-parallel; grid-point
 // progress goes to stderr) and the sweep is deterministic — a fixed -seed
 // emits a byte-identical table across runs and worker counts. SIGINT or
@@ -11,6 +12,8 @@
 //	mcscenario -n 96 -loss 0,0.05,0.1                 # loss sweep
 //	mcscenario -jam 0,1,2 -jam-model roundrobin       # jamming sweep
 //	mcscenario -churn 0,0.1,0.2 -seeds 3              # churn sweep, 3 seeds/point
+//	mcscenario -byz 0,0.1,0.2 -byz-strategy equivocate # byzantine sweep
+//	mcscenario -byz 0,0.2 -jam 1 -jam-model reactive  # byzantine × reactive jam
 //	mcscenario -loss 0,0.1 -jam 0,1 -churn 0,0.1 -csv # full grid, CSV
 //	mcscenario -loss 0,0.1 -seeds 8 -parallel 4       # 4 workers, same table
 //
@@ -59,8 +62,10 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		seed       = fs.Uint64("seed", 1, "base seed; repetition s runs with seed+s")
 		loss       = fs.String("loss", "0", "comma-separated loss probabilities in [0, 1]")
 		jam        = fs.String("jam", "0", "comma-separated jammed-channel counts")
-		jamModel   = fs.String("jam-model", "oblivious", "jamming adversary: oblivious|roundrobin")
+		jamModel   = fs.String("jam-model", "oblivious", "jamming adversary: "+strings.Join(mcnet.JamModelNames(), "|"))
 		churn      = fs.String("churn", "0", "comma-separated crash rates in [0, 1]")
+		byz        = fs.String("byz", "0", "comma-separated byzantine node fractions in [0, 1]")
+		byzStrat   = fs.String("byz-strategy", "corrupt", "byzantine strategy: "+strings.Join(mcnet.ByzStrategyNames(), "|"))
 		colorer    = fs.String("colorer", "", "coloring backend pinned in the spec: sec7|dplus1|hsb (default sec7)")
 		execMode   = fs.String("exec", "", "execution mode pinned in the spec: auto|goroutines|stepped (default auto)")
 		name       = fs.String("name", "mcscenario", "report title")
@@ -162,21 +167,34 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 				return
 			}
 		}
+		byzGrid, err := parseFloats(*byz)
+		if err != nil {
+			fail("-byz: %v", err)
+			return
+		}
+		for _, bf := range byzGrid {
+			if bf < 0 || bf > 1 {
+				fail("-byz value %v must be in [0, 1]", bf)
+				return
+			}
+		}
 		// Route flags through the spec document so the local run, the spec
 		// file and the daemon all validate and execute identically.
 		sp := mcnet.ScenarioSpec{
-			Name:     *name,
-			N:        *n,
-			Topology: *kind,
-			Channels: *channels,
-			Loss:     lossGrid,
-			Jam:      jamGrid,
-			Churn:    churnGrid,
-			JamModel: *jamModel,
-			Seeds:    *seeds,
-			BaseSeed: *seed,
-			Colorer:  *colorer,
-			Exec:     *execMode,
+			Name:        *name,
+			N:           *n,
+			Topology:    *kind,
+			Channels:    *channels,
+			Loss:        lossGrid,
+			Jam:         jamGrid,
+			Churn:       churnGrid,
+			Byz:         byzGrid,
+			ByzStrategy: *byzStrat,
+			JamModel:    *jamModel,
+			Seeds:       *seeds,
+			BaseSeed:    *seed,
+			Colorer:     *colorer,
+			Exec:        *execMode,
 		}
 		if sc, err = sp.Scenario(); err != nil {
 			fail("%v", err)
@@ -219,7 +237,7 @@ func run(args []string, out, errOut io.Writer, exit func(int)) {
 		}
 		return k
 	}
-	points := axis(len(sc.Loss)) * axis(len(sc.Jam)) * axis(len(sc.Churn))
+	points := axis(len(sc.Loss)) * axis(len(sc.Jam)) * axis(len(sc.Churn)) * axis(len(sc.Byz))
 	reps := sc.Seeds
 	if reps < 1 {
 		reps = 1

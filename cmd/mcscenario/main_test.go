@@ -67,6 +67,10 @@ func TestScenarioFlagValidation(t *testing.T) {
 		{"zero seeds", []string{"-seeds", "0"}, "-seeds"},
 		{"bad topology", []string{"-topo", "moebius"}, "topology"},
 		{"bad jam model", []string{"-jam-model", "psychic"}, "jam model"},
+		{"bad byz strategy", []string{"-byz-strategy", "gossip"}, "strategy"},
+		{"byz out of range", []string{"-byz", "0,1.5"}, "-byz"},
+		{"byz negative", []string{"-byz", "-0.1"}, "-byz"},
+		{"byz garbage", []string{"-byz", "lots"}, "-byz"},
 		{"loss out of range", []string{"-loss", "0,1.5"}, "-loss"},
 		{"loss garbage", []string{"-loss", "zero"}, "-loss"},
 		{"loss empty", []string{"-loss", ","}, "-loss"},
@@ -88,6 +92,14 @@ func TestScenarioFlagValidation(t *testing.T) {
 		}
 		if buf.Len() != 0 {
 			t.Errorf("%s: error leaked to stdout: %q", tc.name, buf.String())
+		}
+	}
+	// The jam-model rejection must list every valid adversary name.
+	var errBuf bytes.Buffer
+	run([]string{"-jam-model", "psychic"}, &bytes.Buffer{}, &errBuf, func(int) {})
+	for _, name := range []string{"oblivious", "roundrobin", "reactive", "adaptive"} {
+		if !strings.Contains(errBuf.String(), name) {
+			t.Errorf("jam-model error does not list %q: %q", name, errBuf.String())
 		}
 	}
 }

@@ -24,7 +24,7 @@
 // Aggregate and Color honor context cancellation, results carry per-stage
 // budgets vs. observed completion events plus channel utilization, and
 // Events streams per-node milestones live. RunExperiment exposes the
-// evaluation suite (E1–E10, ablations A1–A3, fault sweeps F1–F3, coloring
+// evaluation suite (E1–E10, ablations A1–A3, fault sweeps F1–F6, coloring
 // head-to-heads C1–C3) that regenerates the paper's claimed bounds.
 //
 // # Coloring backends
@@ -45,16 +45,24 @@
 //
 // # Fault injection
 //
-// Three fault options stress-test the schedules on non-ideal networks and
+// Four fault options stress-test the schedules on non-ideal networks and
 // compose freely: Loss(p) suppresses each decoded message independently
 // with probability p; Jamming(k, model) lets an adversary jam k channels
-// per slot (oblivious or round-robin); Churn(spec) crashes nodes at
-// explicit or seeded random slots. Every fault decision is a pure function
-// of the run seed, so faulty runs replay bit-identically, and
-// zero-intensity faults reproduce the fault-free transcript bit-for-bit.
-// Results gain a FaultReport (delivered vs. lost, jammed slot-channels,
-// crashed nodes, surviving-node correctness). RunScenario sweeps fault
-// grids and renders the standard tables; cmd/mcscenario is its CLI.
+// per slot — oblivious, round-robin, reactive (last slot's busiest
+// channels) or adaptive (an ε-greedy bandit over decode history);
+// Byzantine(frac, strategy) makes a seeded node subset lie (ByzCorrupt: a
+// fixed per-node lie, ByzEquivocate: a fresh lie per slot and channel,
+// ByzSilent: transmit nothing); Churn(spec) crashes nodes at explicit or
+// seeded random slots. Every fault decision is a pure function of the run
+// seed, so faulty runs replay bit-identically across both execution modes
+// and all worker counts, and zero-intensity faults reproduce the
+// fault-free transcript bit-for-bit. Results gain a FaultReport
+// (delivered vs. lost, jammed slot-channels, crashed and Byzantine nodes,
+// honest-survivor correctness — SurvivorsExact and SurvivorsAgreeing
+// exclude the liars themselves). RunScenario sweeps fault grids and
+// renders the standard tables; cmd/mcscenario is its CLI; experiments f4
+// (Byzantine degradation), f5 (jam-adversary head-to-head) and f6
+// (Byzantine × churn) quantify how far the paper's guarantees bend.
 //
 // # Batch execution
 //

@@ -9,6 +9,7 @@ import (
 	"mcnet/internal/coloring"
 	"mcnet/internal/core"
 	"mcnet/internal/expt"
+	"mcnet/internal/fault"
 	"mcnet/internal/stats"
 )
 
@@ -35,6 +36,14 @@ type ExperimentOptions struct {
 	// ExecAuto). Tables are bit-identical at every setting; the knob exists
 	// for memory/wall-clock measurement.
 	Exec ExecMode
+	// Byz overrides the Byzantine-fraction axis of the f4 and f6 sweeps;
+	// empty means each experiment's default axis. Every value must be in
+	// [0, 1]. Other experiments ignore it.
+	Byz []float64
+	// JamModels restricts the jamming adversaries of the f4 and f5 sweeps
+	// to a subset of JamModelNames(); empty means each experiment's default
+	// set. Other experiments ignore it.
+	JamModels []string
 }
 
 // Table is a rendered experiment result.
@@ -50,11 +59,12 @@ func (t *Table) CSV() string { return t.t.CSV() }
 
 // ExperimentIDs lists the runnable experiment identifiers: the evaluation
 // suite e1..e10 (one per claimed bound of the paper), the ablations a1..a3,
-// the fault sweeps f1..f3 (message loss, jamming, churn), and the coloring
-// backend head-to-heads c1..c3 (topology suite, scaling, churn). Use
-// AllExperiments for the whole e-suite in one call.
+// the fault sweeps f1..f6 (message loss, jamming, churn, Byzantine nodes,
+// jam-adversary head-to-head, Byzantine × churn), and the coloring backend
+// head-to-heads c1..c3 (topology suite, scaling, churn). Use AllExperiments
+// for the whole e-suite in one call.
 func ExperimentIDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3", "f1", "f2", "f3", "c1", "c2", "c3"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3", "f1", "f2", "f3", "f4", "f5", "f6", "c1", "c2", "c3"}
 }
 
 // RunExperiment executes one experiment by id (see ExperimentIDs) and
@@ -77,7 +87,20 @@ func RunExperimentContext(ctx context.Context, id string, o ExperimentOptions) (
 			return nil, fmt.Errorf("mcnet: %w", err)
 		}
 	}
-	tb, err := runner(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel, Ctx: ctx, Colorers: o.Colorers, Exec: core.ExecMode(o.Exec)})
+	for _, frac := range o.Byz {
+		if frac < 0 || frac > 1 {
+			return nil, fmt.Errorf("mcnet: byzantine fraction %v must be in [0, 1]", frac)
+		}
+	}
+	var jams []fault.JamModel
+	for _, name := range o.JamModels {
+		jm, err := jamModelByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("mcnet: %w", err)
+		}
+		jams = append(jams, fault.JamModel(jm))
+	}
+	tb, err := runner(expt.Options{Seeds: o.Seeds, Quick: o.Quick, Parallel: o.Parallel, Ctx: ctx, Colorers: o.Colorers, Exec: core.ExecMode(o.Exec), Byz: o.Byz, JamModels: jams})
 	if err != nil {
 		return nil, err
 	}

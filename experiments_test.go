@@ -40,10 +40,10 @@ func TestRunExperimentUnknown(t *testing.T) {
 // TestExperimentIDs: the advertised id list is stable and complete.
 func TestExperimentIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 19 {
-		t.Fatalf("len(ExperimentIDs) = %d, want 19", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("len(ExperimentIDs) = %d, want 22", len(ids))
 	}
-	for _, want := range []string{"e1", "e10", "a3", "f1", "f3", "c1", "c3"} {
+	for _, want := range []string{"e1", "e10", "a3", "f1", "f3", "f4", "f5", "f6", "c1", "c3"} {
 		found := false
 		for _, id := range ids {
 			if id == want {
@@ -52,6 +52,44 @@ func TestExperimentIDs(t *testing.T) {
 		}
 		if !found {
 			t.Errorf("missing id %q", want)
+		}
+	}
+}
+
+// TestExperimentOptionValidation: a Byzantine fraction outside [0, 1] and
+// an unknown jam model are rejected before any sweep runs, with the valid
+// names listed — the error the CLIs relay on exit 2.
+func TestExperimentOptionValidation(t *testing.T) {
+	if _, err := RunExperiment("f4", ExperimentOptions{Quick: true, Byz: []float64{1.5}}); err == nil || !strings.Contains(err.Error(), "[0, 1]") {
+		t.Errorf("byz fraction 1.5 accepted or unhelpful: %v", err)
+	}
+	_, err := RunExperiment("f4", ExperimentOptions{Quick: true, JamModels: []string{"psychic"}})
+	if err == nil {
+		t.Fatal("unknown jam model accepted")
+	}
+	for _, name := range JamModelNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("jam-model error does not list %q: %v", name, err)
+		}
+	}
+}
+
+// TestF4ExecIdentity is the experiment-level face of the acceptance
+// criterion: the Byzantine degradation sweep is byte-identical across the
+// two execution modes (worker counts are covered by
+// TestExperimentParallelIdentity).
+func TestF4ExecIdentity(t *testing.T) {
+	var ref string
+	for _, mode := range []ExecMode{ExecGoroutines, ExecStepped} {
+		tb, err := RunExperiment("f4", ExperimentOptions{Seeds: 1, Quick: true, Exec: mode})
+		if err != nil {
+			t.Fatalf("exec %v: %v", mode, err)
+		}
+		out := tb.CSV()
+		if ref == "" {
+			ref = out
+		} else if out != ref {
+			t.Fatalf("f4 table differs across exec modes:\n%s\n--- vs ---\n%s", out, ref)
 		}
 	}
 }

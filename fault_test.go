@@ -72,6 +72,11 @@ func TestFaultOptionValidation(t *testing.T) {
 		{"churn window", []Option{Churn(ChurnSpec{Rate: 0.1, From: 9, Until: 9})}},
 		{"churn negative slot", []Option{Churn(ChurnSpec{CrashAt: map[int]int{0: -1}})}},
 		{"churn unknown node", []Option{Churn(ChurnSpec{CrashAt: map[int]int{99: 5}})}},
+		{"negative byz fraction", []Option{Byzantine(-0.1, ByzCorrupt)}},
+		{"byz fraction above one", []Option{Byzantine(1.5, ByzCorrupt)}},
+		{"unknown byz strategy", []Option{Byzantine(0.2, ByzStrategy(9))}},
+		{"negative byz count", []Option{ByzantineCount(-1, ByzSilent)}},
+		{"byz count above n", []Option{ByzantineCount(17, ByzCorrupt)}},
 	}
 	for _, tc := range bad {
 		if _, err := New(16, tc.opts...); err == nil {
@@ -84,6 +89,10 @@ func TestFaultOptionValidation(t *testing.T) {
 		{Churn(ChurnSpec{Rate: 0.3, From: 10, Until: 50})},
 		{Churn(ChurnSpec{CrashAt: map[int]int{0: 5, 15: 0}})},
 		{Loss(0), Jamming(0, JamOblivious), Churn(ChurnSpec{})},
+		{Byzantine(0.25, ByzEquivocate)},
+		{ByzantineCount(3, ByzSilent)},
+		{Jamming(1, JamReactive)},
+		{Jamming(2, JamAdaptive)},
 	}
 	for i, opts := range good {
 		if _, err := New(16, opts...); err != nil {
@@ -101,7 +110,7 @@ func TestZeroIntensityFaultsReplayFaultFree(t *testing.T) {
 	values := seqValues(n)
 	base, baseLog := faultRun(t, n, values)
 	zero, zeroLog := faultRun(t, n, values,
-		Loss(0), Jamming(0, JamRoundRobin), Churn(ChurnSpec{}))
+		Loss(0), Jamming(0, JamRoundRobin), Churn(ChurnSpec{}), Byzantine(0, ByzEquivocate))
 
 	if base.Faults != nil {
 		t.Fatal("fault-free run carries a FaultReport")
@@ -112,6 +121,9 @@ func TestZeroIntensityFaultsReplayFaultFree(t *testing.T) {
 	}
 	if fr.Lost != 0 || fr.JammedSlotChannels != 0 || len(fr.CrashedNodes) != 0 {
 		t.Errorf("zero-intensity faults reported activity: %+v", fr)
+	}
+	if len(fr.ByzantineNodes) != 0 || fr.Corrupted != 0 || fr.Dropped != 0 {
+		t.Errorf("zero-intensity byzantine spec reported activity: %+v", fr)
 	}
 	if fr.Survivors != n || fr.SurvivorsInformed != zero.Informed || fr.SurvivorsExact != zero.Exact {
 		t.Errorf("zero-intensity survivor counts %+v disagree with result (informed %d, exact %d)",
@@ -143,7 +155,13 @@ func TestFaultGoldenTranscripts(t *testing.T) {
 		{"jam-roundrobin", []Option{Jamming(1, JamRoundRobin)}},
 		{"churn-rate", []Option{Churn(ChurnSpec{Rate: 0.2})}},
 		{"churn-set", []Option{Churn(ChurnSpec{CrashAt: map[int]int{1: 40, 5: 200}})}},
+		{"jam-reactive", []Option{Jamming(1, JamReactive)}},
+		{"jam-adaptive", []Option{Jamming(1, JamAdaptive)}},
+		{"byz-corrupt", []Option{Byzantine(0.2, ByzCorrupt)}},
+		{"byz-equivocate", []Option{Byzantine(0.2, ByzEquivocate)}},
+		{"byz-silent", []Option{Byzantine(0.2, ByzSilent)}},
 		{"combined", []Option{Loss(0.1), Jamming(1, JamRoundRobin), Churn(ChurnSpec{Rate: 0.1})}},
+		{"combined-byz", []Option{Loss(0.05), Jamming(1, JamReactive), Byzantine(0.15, ByzEquivocate)}},
 	}
 	for _, m := range models {
 		r1, log1 := faultRun(t, n, values, m.opts...)
@@ -230,6 +248,49 @@ func TestJammingDegradesChannels(t *testing.T) {
 	}
 	if res.Informed < n/2 {
 		t.Errorf("only %d/%d informed with 1 of 4 channels jammed", res.Informed, n)
+	}
+}
+
+// TestByzantineReporting: the seeded membership surfaces in the report, the
+// strategies leave their distinct fingerprints (corrupted vs dropped
+// transmissions), and the survivor counts exclude the liars.
+func TestByzantineReporting(t *testing.T) {
+	const n = 40
+	res, _ := faultRun(t, n, seqValues(n), Byzantine(0.25, ByzCorrupt))
+	fr := res.Faults
+	if fr == nil {
+		t.Fatal("no FaultReport")
+	}
+	if len(fr.ByzantineNodes) != 10 {
+		t.Fatalf("ByzantineNodes = %v, want 10 of %d nodes", fr.ByzantineNodes, n)
+	}
+	last := -1
+	for _, id := range fr.ByzantineNodes {
+		if id <= last || id >= n {
+			t.Fatalf("membership not ascending in range: %v", fr.ByzantineNodes)
+		}
+		last = id
+	}
+	if fr.Corrupted == 0 || fr.Dropped != 0 {
+		t.Errorf("corrupt strategy: corrupted %d, dropped %d; want >0, 0", fr.Corrupted, fr.Dropped)
+	}
+	if fr.Survivors != n-len(fr.ByzantineNodes) {
+		t.Errorf("Survivors = %d, want %d (liars excluded)", fr.Survivors, n-len(fr.ByzantineNodes))
+	}
+	if fr.SurvivorsExact != 0 {
+		t.Errorf("SurvivorsExact = %d under 10 consistent liars, want 0", fr.SurvivorsExact)
+	}
+
+	silent, _ := faultRun(t, n, seqValues(n), ByzantineCount(4, ByzSilent))
+	sr := silent.Faults
+	if sr == nil {
+		t.Fatal("no FaultReport")
+	}
+	if len(sr.ByzantineNodes) != 4 {
+		t.Errorf("ByzantineCount(4) chose %v", sr.ByzantineNodes)
+	}
+	if sr.Dropped == 0 || sr.Corrupted != 0 {
+		t.Errorf("silent strategy: corrupted %d, dropped %d; want 0, >0", sr.Corrupted, sr.Dropped)
 	}
 }
 

@@ -42,6 +42,13 @@ type Up struct {
 	Value        int64
 }
 
+// PayloadValue exposes the subtree aggregate to the fault layer's Byzantine
+// corruption hook (fault.Payload).
+func (m Up) PayloadValue() int64 { return m.Value }
+
+// WithPayloadValue returns the message with its value replaced.
+func (m Up) WithPayloadValue(v int64) any { m.Value = v; return m }
+
 // UpAck confirms receipt of a child's aggregate.
 type UpAck struct {
 	To int
@@ -52,6 +59,13 @@ type Result struct {
 	Value int64
 	From  int
 }
+
+// PayloadValue exposes the flooded aggregate to the fault layer's Byzantine
+// corruption hook (fault.Payload).
+func (m Result) PayloadValue() int64 { return m.Value }
+
+// WithPayloadValue returns the message with its value replaced.
+func (m Result) WithPayloadValue(v int64) any { m.Value = v; return m }
 
 // TreeConfig parameterizes the inter-cluster stage (substrate for [2],
 // Theorem 3; deviation D3 in DESIGN.md).

@@ -13,6 +13,13 @@ type BcastUp struct {
 	Value int64
 }
 
+// PayloadValue exposes the broadcast payload to the fault layer's Byzantine
+// corruption hook (fault.Payload).
+func (m BcastUp) PayloadValue() int64 { return m.Value }
+
+// WithPayloadValue returns the message with its value replaced.
+func (m BcastUp) WithPayloadValue(v int64) any { m.Value = v; return m }
+
 // BcastFlood carries the payload across the dominator backbone.
 type BcastFlood struct {
 	Value int64

@@ -25,6 +25,13 @@ type FollowerMsg struct {
 	Value     int64
 }
 
+// PayloadValue exposes the follower's value to the fault layer's Byzantine
+// corruption hook (fault.Payload).
+func (m FollowerMsg) PayloadValue() int64 { return m.Value }
+
+// WithPayloadValue returns the message with its value replaced.
+func (m FollowerMsg) WithPayloadValue(v int64) any { m.Value = v; return m }
+
 // FollowerAck confirms receipt of a follower's value.
 type FollowerAck struct {
 	To, Dom int
@@ -40,6 +47,13 @@ type FinalMsg struct {
 	Dom   int
 	Value int64
 }
+
+// PayloadValue exposes the announced aggregate to the fault layer's
+// Byzantine corruption hook (fault.Payload).
+func (m FinalMsg) PayloadValue() int64 { return m.Value }
+
+// WithPayloadValue returns the message with its value replaced.
+func (m FinalMsg) WithPayloadValue(v int64) any { m.Value = v; return m }
 
 // Event names emitted by the pipeline (see also the backbone package's
 // "backbone-agg" and "backbone-result").

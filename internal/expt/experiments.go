@@ -12,6 +12,7 @@ import (
 	"mcnet/internal/core"
 	"mcnet/internal/csa"
 	"mcnet/internal/dominate"
+	"mcnet/internal/fault"
 	"mcnet/internal/geo"
 	"mcnet/internal/graph"
 	"mcnet/internal/model"
@@ -42,6 +43,12 @@ type Options struct {
 	// Exec pins the pipeline execution mode for every aggregation run
 	// (default core.ExecAuto). Tables are bit-identical at every setting.
 	Exec core.ExecMode
+	// Byz overrides the Byzantine-fraction axis of the f4 and f6 sweeps;
+	// empty means each experiment's default axis. Values must be in [0, 1].
+	Byz []float64
+	// JamModels restricts the jamming adversaries the f4 and f5 sweeps pit
+	// against the pipeline; empty means each experiment's default set.
+	JamModels []fault.JamModel
 }
 
 // ctx resolves the sweep context.
@@ -808,7 +815,7 @@ func All(o Options) ([]*stats.Table, error) {
 }
 
 // ByName returns the runner for an experiment ID ("e1".."e10", "a1".."a3",
-// "f1".."f3", "c1".."c3").
+// "f1".."f6", "c1".."c3").
 func ByName(name string) (func(Options) (*stats.Table, error), bool) {
 	m := map[string]func(Options) (*stats.Table, error){
 		"e1": E1SpeedupVsChannels, "e2": E2AggVsN, "e3": E3Baselines,
@@ -818,6 +825,7 @@ func ByName(name string) (func(Options) (*stats.Table, error), bool) {
 		"a1": A1BackoffAblation, "a2": A2TDMAAblation,
 		"a3": A3ChannelSpreadAblation,
 		"f1": F1LossSweep, "f2": F2JamSweep, "f3": F3ChurnSweep,
+		"f4": F4ByzantineSweep, "f5": F5JamHeadToHead, "f6": F6ByzChurnSweep,
 		"c1": C1ColorHeadToHead, "c2": C2ColorScaling, "c3": C3ColorChurn,
 	}
 	f, ok := m[name]

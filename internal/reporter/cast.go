@@ -14,6 +14,13 @@ type UpMsg struct {
 	Value  int64
 }
 
+// PayloadValue exposes the subtree aggregate to the fault layer's Byzantine
+// corruption hook (fault.Payload).
+func (m UpMsg) PayloadValue() int64 { return m.Value }
+
+// WithPayloadValue returns the message with its value replaced.
+func (m UpMsg) WithPayloadValue(v int64) any { m.Value = v; return m }
+
 // UpAck confirms receipt of an UpMsg.
 type UpAck struct {
 	ToRole int

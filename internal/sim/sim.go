@@ -84,16 +84,26 @@ type TraceFn func(slot int, txs []phy.Tx, rxs []phy.Rx, recs []phy.Reception)
 
 // FaultInjector perturbs slot resolution (see internal/fault). All methods
 // are called from the engine goroutine — BeginSlot before each slot is
-// resolved, FilterReception once per listener after resolution and before
-// Trace observes the slot — except CrashSlot, which is read once per node at
-// run start. Implementations must be deterministic functions of their own
-// seed and the (slot, node) arguments so transcripts stay reproducible.
+// resolved, FilterTransmission once per collected transmission (in node
+// order) before resolution, FilterReception once per listener (in node
+// order) after resolution and before Trace observes the slot — except
+// CrashSlot, which is read once per node at run start. Because both
+// execution modes funnel through the engine's single resolve loop, these
+// call sites and their ordering are identical under goroutine and stepped
+// execution; implementations must be deterministic functions of their own
+// seed, the (slot, node, channel) arguments, and state observed through
+// these same calls, so transcripts stay reproducible.
 type FaultInjector interface {
 	// BeginSlot runs before the slot is resolved and may reconfigure
 	// per-slot channel jamming on the field.
 	BeginSlot(slot int, field *phy.Field)
-	// FilterReception may suppress or degrade one listener's reception.
-	FilterReception(slot, node int, rec phy.Reception) phy.Reception
+	// FilterTransmission may rewrite a transmission's message (Byzantine
+	// corruption or equivocation) or remove it from the slot entirely by
+	// returning ok == false (a dropped transmission radiates no power).
+	FilterTransmission(slot int, tx phy.Tx) (out phy.Tx, ok bool)
+	// FilterReception may suppress or degrade one listener's reception on
+	// the given channel.
+	FilterReception(slot, node, channel int, rec phy.Reception) phy.Reception
 	// CrashSlot returns the first slot at which the node is dead — it
 	// performs no radio action at that slot or later — or a value above
 	// any reachable slot if the node never crashes.
@@ -555,6 +565,17 @@ func (e *Engine) run(ctx context.Context, programs []Program, steppers []Stepper
 
 		if e.Faults != nil {
 			e.Faults.BeginSlot(slot, e.field)
+			// Byzantine corruption point: each transmission may be rewritten
+			// or removed before the SINR layer sees it. txs is in node order
+			// (the collect pass scans nodes ascending), so the injector's
+			// call sequence is identical across exec modes and worker counts.
+			kept := txs[:0]
+			for _, tx := range txs {
+				if ftx, ok := e.Faults.FilterTransmission(slot, tx); ok {
+					kept = append(kept, ftx)
+				}
+			}
+			txs = kept
 		}
 		recs := e.field.Resolve(txs, rxs)
 		if e.Faults != nil {
@@ -562,7 +583,7 @@ func (e *Engine) run(ctx context.Context, programs []Program, steppers []Stepper
 			// see the same post-fault world. recs is the field's scratch;
 			// rewriting it in place is safe until the next Resolve.
 			for k := range recs {
-				recs[k] = e.Faults.FilterReception(slot, rxs[k].Node, recs[k])
+				recs[k] = e.Faults.FilterReception(slot, rxs[k].Node, rxs[k].Channel, recs[k])
 			}
 		}
 		if e.Trace != nil {

@@ -198,7 +198,10 @@ func TestSteppedEngineEquivalence(t *testing.T) {
 type crashFaults struct{ at map[int]int }
 
 func (f crashFaults) BeginSlot(int, *phy.Field) {}
-func (f crashFaults) FilterReception(_, _ int, rec phy.Reception) phy.Reception {
+func (f crashFaults) FilterTransmission(_ int, tx phy.Tx) (phy.Tx, bool) {
+	return tx, true
+}
+func (f crashFaults) FilterReception(_, _, _ int, rec phy.Reception) phy.Reception {
 	return rec
 }
 func (f crashFaults) CrashSlot(node int) int {

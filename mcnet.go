@@ -392,6 +392,9 @@ func faultReportOf(rep fault.Report, out *AggregateResult) *FaultReport {
 		Lost:               rep.Lost,
 		JammedSlotChannels: rep.JammedSlotChannels,
 		CrashedNodes:       rep.CrashedNodes,
+		ByzantineNodes:     rep.ByzantineNodes,
+		Corrupted:          rep.Corrupted,
+		Dropped:            rep.Dropped,
 		Survivors:          tally.Survivors,
 		SurvivorsInformed:  tally.Informed,
 		SurvivorsExact:     tally.Exact,

@@ -271,7 +271,53 @@ const (
 	// across the channel space, one step per slot — a deterministic
 	// adversary that disrupts every channel equally over time.
 	JamRoundRobin JamModel = JamModel(fault.JamRoundRobin)
+	// JamReactive jams the k channels that carried the most decoded traffic
+	// in the previous slot — an eavesdropping adversary that chases the
+	// protocol's actual schedule. Still deterministic: it observes only
+	// engine-resolved state, so replays are bit-identical across exec modes
+	// and worker counts.
+	JamReactive JamModel = JamModel(fault.JamReactive)
+	// JamAdaptive is a seeded ε-greedy bandit over channels: it learns which
+	// channels carry traffic from decayed per-channel delivery scores and
+	// occasionally explores a fresh random subset.
+	JamAdaptive JamModel = JamModel(fault.JamAdaptive)
 )
+
+// String returns the model's CLI/spec name.
+func (m JamModel) String() string { return fault.JamModel(m).String() }
+
+// ByzStrategy selects what Byzantine nodes do with their own transmissions
+// (see the Byzantine option).
+type ByzStrategy int
+
+const (
+	// ByzCorrupt replaces every aggregation payload the node sends with a
+	// fixed seeded lie — a consistent liar.
+	ByzCorrupt ByzStrategy = ByzStrategy(fault.ByzCorrupt)
+	// ByzEquivocate sends a different seeded lie per (slot, channel) — the
+	// classic equivocation attack.
+	ByzEquivocate ByzStrategy = ByzStrategy(fault.ByzEquivocate)
+	// ByzSilent drops every transmission the node attempts while it keeps
+	// its protocol role — a fail-silent traitor.
+	ByzSilent ByzStrategy = ByzStrategy(fault.ByzSilent)
+)
+
+// String returns the strategy's CLI/spec name: corrupt, equivocate or silent.
+func (s ByzStrategy) String() string { return fault.ByzStrategy(s).String() }
+
+// ParseByzStrategy maps a CLI/spec name ("corrupt", "equivocate", "silent";
+// "" means corrupt) to its ByzStrategy.
+func ParseByzStrategy(name string) (ByzStrategy, error) {
+	switch name {
+	case "", "corrupt":
+		return ByzCorrupt, nil
+	case "equivocate":
+		return ByzEquivocate, nil
+	case "silent":
+		return ByzSilent, nil
+	}
+	return ByzCorrupt, fmt.Errorf("mcnet: unknown byzantine strategy %q (valid: corrupt, equivocate, silent)", name)
+}
 
 // ChurnSpec configures node churn for the Churn option. Both mechanisms may
 // be combined; explicit crashes win over the rate process on the same node.
@@ -315,6 +361,38 @@ func Jamming(k int, model JamModel) Option {
 	return func(s *settings) error {
 		s.faults.JamChannels = k
 		s.faults.JamModel = fault.JamModel(model)
+		s.faulted = true
+		return nil
+	}
+}
+
+// Byzantine marks a seeded-hash-chosen fraction of the deployment as
+// Byzantine: instead of failing, those nodes keep playing their protocol
+// roles while lying. Under ByzCorrupt every aggregation payload they send is
+// replaced by a fixed seeded lie; under ByzEquivocate the lie differs per
+// (slot, channel); under ByzSilent their transmissions are dropped entirely
+// (they still listen, hold roles, and never look crashed). Membership is an
+// exact seeded k-subset (k = round(fraction·n)), so the same seed always
+// corrupts the same nodes. Byzantine(0, ...) attaches the fault layer but
+// reproduces the fault-free transcript bit-for-bit.
+//
+// Survivor metrics (SurvivorsExact, SurvivorsAgreeing, ...) count honest
+// nodes only; the chosen membership is reported in FaultReport.
+func Byzantine(fraction float64, strategy ByzStrategy) Option {
+	return func(s *settings) error {
+		s.faults.Byz.Fraction = fraction
+		s.faults.Byz.Strategy = fault.ByzStrategy(strategy)
+		s.faulted = true
+		return nil
+	}
+}
+
+// ByzantineCount is Byzantine with an exact node count instead of a
+// fraction.
+func ByzantineCount(count int, strategy ByzStrategy) Option {
+	return func(s *settings) error {
+		s.faults.Byz.Count = count
+		s.faults.Byz.Strategy = fault.ByzStrategy(strategy)
 		s.faulted = true
 		return nil
 	}

@@ -121,13 +121,21 @@ type FaultReport struct {
 	// CrashedNodes lists the nodes whose crash slot fell inside the run,
 	// ascending.
 	CrashedNodes []int
-	// Survivors counts nodes alive at the end of the run;
+	// ByzantineNodes lists the seeded Byzantine membership (the Byzantine
+	// option), ascending; Corrupted counts payloads its members rewrote and
+	// Dropped the transmissions they silently discarded.
+	ByzantineNodes     []int
+	Corrupted, Dropped int
+	// Survivors counts honest nodes alive at the end of the run;
 	// SurvivorsInformed and SurvivorsExact restrict the result's Informed
 	// and Exact counts to them — the surviving-node aggregate correctness
 	// under churn (crashed nodes legitimately never learn the aggregate).
+	// Byzantine nodes are excluded from all survivor counts: the metrics
+	// measure honest correctness, which is what degrades as the Byzantine
+	// fraction grows.
 	Survivors                         int
 	SurvivorsInformed, SurvivorsExact int
-	// SurvivorsAgreeing is the size of the largest set of informed
+	// SurvivorsAgreeing is the size of the largest set of informed honest
 	// survivors that learned the same value. Under churn the full-input
 	// fold is unreachable when nodes die before contributing, so exactness
 	// degrades to consensus: survivors should still agree on one aggregate

@@ -33,6 +33,12 @@ type Scenario struct {
 	Loss  []float64
 	Jam   []int
 	Churn []float64
+	// Byz is the Byzantine-fraction axis: per grid point, the fraction of
+	// nodes corrupted as the Byzantine option would (an empty axis sweeps
+	// the single value 0). ByzStrategy picks what the corrupted nodes do
+	// (default ByzCorrupt).
+	Byz         []float64
+	ByzStrategy ByzStrategy
 	// JamModel picks the jamming adversary (default JamOblivious).
 	JamModel JamModel
 	// Seeds is the number of repetitions per grid point (default 1);
@@ -52,8 +58,8 @@ type Scenario struct {
 }
 
 // axes returns the sweep axes with empty ones widened to {0}.
-func (sc Scenario) axes() (loss []float64, jam []int, churn []float64) {
-	loss, jam, churn = sc.Loss, sc.Jam, sc.Churn
+func (sc Scenario) axes() (loss []float64, jam []int, churn, byz []float64) {
+	loss, jam, churn, byz = sc.Loss, sc.Jam, sc.Churn, sc.Byz
 	if len(loss) == 0 {
 		loss = []float64{0}
 	}
@@ -63,14 +69,17 @@ func (sc Scenario) axes() (loss []float64, jam []int, churn []float64) {
 	if len(churn) == 0 {
 		churn = []float64{0}
 	}
-	return loss, jam, churn
+	if len(byz) == 0 {
+		byz = []float64{0}
+	}
+	return loss, jam, churn, byz
 }
 
 // validateAxes rejects out-of-range sweep values before any run starts:
 // loss and churn are probabilities, and a jam count that covers every
 // channel would leave the adversary nothing to spare. channels is the
 // deployment's channel count after applying the base options.
-func validateAxes(loss []float64, jam []int, churn []float64, channels int) error {
+func validateAxes(loss []float64, jam []int, churn, byz []float64, channels int) error {
 	for _, lp := range loss {
 		if lp < 0 || lp > 1 || lp != lp {
 			return fmt.Errorf("mcnet: scenario loss probability %v must be in [0, 1]", lp)
@@ -89,14 +98,31 @@ func validateAxes(loss []float64, jam []int, churn []float64, channels int) erro
 			return fmt.Errorf("mcnet: scenario churn rate %v must be in [0, 1]", cr)
 		}
 	}
+	for _, bf := range byz {
+		if bf < 0 || bf > 1 || bf != bf {
+			return fmt.Errorf("mcnet: scenario byzantine fraction %v must be in [0, 1]", bf)
+		}
+	}
 	return nil
 }
 
 // validJamModel reports whether m names a known jamming adversary, so the
 // sweep rejects it up front rather than after the first deployment build.
 func validJamModel(m JamModel) bool {
-	fm := fault.JamModel(m)
-	return fm == fault.JamOblivious || fm == fault.JamRoundRobin
+	switch fault.JamModel(m) {
+	case fault.JamOblivious, fault.JamRoundRobin, fault.JamReactive, fault.JamAdaptive:
+		return true
+	}
+	return false
+}
+
+// validByzStrategy reports whether s names a known Byzantine strategy.
+func validByzStrategy(s ByzStrategy) bool {
+	switch fault.ByzStrategy(s) {
+	case fault.ByzCorrupt, fault.ByzEquivocate, fault.ByzSilent:
+		return true
+	}
+	return false
 }
 
 // RunResult is the serializable summary of one sweep run — exactly the
@@ -121,6 +147,14 @@ type RunResult struct {
 	Crashed           int  `json:"crashed,omitempty"`
 	Survivors         int  `json:"survivors,omitempty"`
 	SurvivorsAgreeing int  `json:"survivors_agreeing,omitempty"`
+	// SurvivorsExact counts honest survivors that learned the exact fold;
+	// Byzantine, Corrupted and Dropped summarize the Byzantine layer's
+	// membership and activity. All additive (omitted when zero), so records
+	// persisted by earlier releases fold identically.
+	SurvivorsExact int `json:"survivors_exact,omitempty"`
+	Byzantine      int `json:"byzantine,omitempty"`
+	Corrupted      int `json:"corrupted,omitempty"`
+	Dropped        int `json:"dropped,omitempty"`
 }
 
 // SummarizeRun condenses an AggregateResult into the RunResult form a
@@ -139,6 +173,10 @@ func SummarizeRun(res *AggregateResult) RunResult {
 		rr.Crashed = len(fr.CrashedNodes)
 		rr.Survivors = fr.Survivors
 		rr.SurvivorsAgreeing = fr.SurvivorsAgreeing
+		rr.SurvivorsExact = fr.SurvivorsExact
+		rr.Byzantine = len(fr.ByzantineNodes)
+		rr.Corrupted = fr.Corrupted
+		rr.Dropped = fr.Dropped
 	}
 	return rr
 }
@@ -155,16 +193,18 @@ func SummarizeRun(res *AggregateResult) RunResult {
 // only the items that never landed); results are pure functions of
 // (scenario, index).
 type Sweep struct {
-	name     string
-	n        int
-	seeds    int
-	baseSeed uint64
-	jamModel JamModel
-	loss     []float64
-	jam      []int
-	churn    []float64
-	specs    []RunSpec
-	deploy   *deploySet
+	name        string
+	n           int
+	seeds       int
+	baseSeed    uint64
+	jamModel    JamModel
+	byzStrategy ByzStrategy
+	loss        []float64
+	jam         []int
+	churn       []float64
+	byz         []float64
+	specs       []RunSpec
+	deploy      *deploySet
 }
 
 // Compile validates the scenario and expands it into its sweep: one
@@ -191,7 +231,7 @@ func (sc Scenario) Compile() (*Sweep, error) {
 	if op == nil {
 		op = Sum
 	}
-	loss, jam, churn := sc.axes()
+	loss, jam, churn, byz := sc.axes()
 
 	// Resolve the deployment's channel count from the base options so the
 	// jam axis can be checked against it before anything runs.
@@ -201,42 +241,51 @@ func (sc Scenario) Compile() (*Sweep, error) {
 			return nil, err
 		}
 	}
-	if err := validateAxes(loss, jam, churn, s.channels); err != nil {
+	if err := validateAxes(loss, jam, churn, byz, s.channels); err != nil {
 		return nil, err
 	}
 	if !validJamModel(sc.JamModel) {
-		return nil, fmt.Errorf("mcnet: scenario jam model %d is unknown (valid: JamOblivious, JamRoundRobin)", int(sc.JamModel))
+		return nil, fmt.Errorf("mcnet: scenario jam model %d is unknown (valid: oblivious, roundrobin, reactive, adaptive)", int(sc.JamModel))
+	}
+	if !validByzStrategy(sc.ByzStrategy) {
+		return nil, fmt.Errorf("mcnet: scenario byzantine strategy %d is unknown (valid: corrupt, equivocate, silent)", int(sc.ByzStrategy))
 	}
 
-	specs := make([]RunSpec, 0, len(loss)*len(jam)*len(churn)*seeds)
+	specs := make([]RunSpec, 0, len(loss)*len(jam)*len(churn)*len(byz)*seeds)
 	for _, lp := range loss {
 		for _, k := range jam {
 			for _, cr := range churn {
-				for rep := 0; rep < seeds; rep++ {
-					specs = append(specs, RunSpec{
-						Seed:     baseSeed + uint64(rep),
-						Loss:     lp,
-						Jam:      k,
-						JamModel: sc.JamModel,
-						Churn:    ChurnSpec{Rate: cr},
-						Faulted:  true,
-						Op:       op,
-					})
+				for _, bf := range byz {
+					for rep := 0; rep < seeds; rep++ {
+						specs = append(specs, RunSpec{
+							Seed:        baseSeed + uint64(rep),
+							Loss:        lp,
+							Jam:         k,
+							JamModel:    sc.JamModel,
+							Churn:       ChurnSpec{Rate: cr},
+							Byz:         bf,
+							ByzStrategy: sc.ByzStrategy,
+							Faulted:     true,
+							Op:          op,
+						})
+					}
 				}
 			}
 		}
 	}
 	return &Sweep{
-		name:     name,
-		n:        sc.N,
-		seeds:    seeds,
-		baseSeed: baseSeed,
-		jamModel: sc.JamModel,
-		loss:     loss,
-		jam:      jam,
-		churn:    churn,
-		specs:    specs,
-		deploy:   newDeploySet(sc.N, sc.Options, specs),
+		name:        name,
+		n:           sc.N,
+		seeds:       seeds,
+		baseSeed:    baseSeed,
+		jamModel:    sc.JamModel,
+		byzStrategy: sc.ByzStrategy,
+		loss:        loss,
+		jam:         jam,
+		churn:       churn,
+		byz:         byz,
+		specs:       specs,
+		deploy:      newDeploySet(sc.N, sc.Options, specs),
 	}, nil
 }
 
@@ -274,41 +323,46 @@ func (sw *Sweep) Fold(results []RunResult) (*Table, error) {
 	}
 	t := stats.NewTable(
 		fmt.Sprintf("%s: fault sweep (n=%d, %d seeds/point)", sw.name, sw.n, sw.seeds),
-		"loss", "jam", "churn", "informed", "exact", "surv_agree", "lost", "crashed", "ack_slots", "agg_slots")
+		"loss", "jam", "churn", "byz", "informed", "exact", "surv_exact", "surv_agree", "lost", "crashed", "ack_slots", "agg_slots")
 	idx := 0
 	for _, lp := range sw.loss {
 		for _, k := range sw.jam {
 			for _, cr := range sw.churn {
-				var acks, aggs []float64
-				informed, exact, total := 0, 0, 0
-				survAgree, survivors := 0, 0
-				lost, crashed := 0, 0
-				for rep := 0; rep < sw.seeds; rep++ {
-					res := results[idx]
-					idx++
-					informed += res.Informed
-					exact += res.Exact
-					total += res.Nodes
-					acks = append(acks, float64(res.AckSlots))
-					aggs = append(aggs, float64(res.AggSlots))
-					if res.Faulted {
-						survAgree += res.SurvivorsAgreeing
-						survivors += res.Survivors
-						lost += res.Lost
-						crashed += res.Crashed
+				for _, bf := range sw.byz {
+					var acks, aggs []float64
+					informed, exact, total := 0, 0, 0
+					survAgree, survExact, survivors := 0, 0, 0
+					lost, crashed := 0, 0
+					for rep := 0; rep < sw.seeds; rep++ {
+						res := results[idx]
+						idx++
+						informed += res.Informed
+						exact += res.Exact
+						total += res.Nodes
+						acks = append(acks, float64(res.AckSlots))
+						aggs = append(aggs, float64(res.AggSlots))
+						if res.Faulted {
+							survAgree += res.SurvivorsAgreeing
+							survExact += res.SurvivorsExact
+							survivors += res.Survivors
+							lost += res.Lost
+							crashed += res.Crashed
+						}
 					}
+					t.AddRow(
+						stats.F(lp), stats.I(k), stats.F(cr), stats.F(bf),
+						scenarioPct(informed, total), scenarioPct(exact, total),
+						scenarioPct(survExact, survivors),
+						scenarioPct(survAgree, survivors),
+						stats.I(lost), stats.I(crashed),
+						stats.F1(stats.Median(acks)), stats.F1(stats.Median(aggs)))
 				}
-				t.AddRow(
-					stats.F(lp), stats.I(k), stats.F(cr),
-					scenarioPct(informed, total), scenarioPct(exact, total),
-					scenarioPct(survAgree, survivors),
-					stats.I(lost), stats.I(crashed),
-					stats.F1(stats.Median(acks)), stats.F1(stats.Median(aggs)))
 			}
 		}
 	}
-	t.AddNote("jam model: %s; seeds %d..%d; surv_agree = largest consensus among informed survivors",
-		fault.JamModel(sw.jamModel), sw.baseSeed, sw.baseSeed+uint64(sw.seeds)-1)
+	t.AddNote("jam model: %s; byz strategy: %s; seeds %d..%d; surv_exact/surv_agree over honest survivors",
+		fault.JamModel(sw.jamModel), fault.ByzStrategy(sw.byzStrategy),
+		sw.baseSeed, sw.baseSeed+uint64(sw.seeds)-1)
 	return &Table{t: t}, nil
 }
 

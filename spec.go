@@ -35,12 +35,17 @@ type ScenarioSpec struct {
 	TopologyParam float64 `json:"topology_param,omitempty"`
 	// Channels is the number of radio channels (default 4).
 	Channels int `json:"channels,omitempty"`
-	// Loss, Jam and Churn are the sweep axes, with Scenario's semantics.
+	// Loss, Jam, Churn and Byz are the sweep axes, with Scenario's
+	// semantics (Byz is the Byzantine-fraction axis).
 	Loss  []float64 `json:"loss,omitempty"`
 	Jam   []int     `json:"jam,omitempty"`
 	Churn []float64 `json:"churn,omitempty"`
-	// JamModel names the jamming adversary: oblivious or roundrobin
-	// (default oblivious).
+	Byz   []float64 `json:"byz,omitempty"`
+	// ByzStrategy names what Byzantine nodes do: corrupt, equivocate or
+	// silent (default corrupt).
+	ByzStrategy string `json:"byz_strategy,omitempty"`
+	// JamModel names the jamming adversary: oblivious, roundrobin, reactive
+	// or adaptive (default oblivious).
 	JamModel string `json:"jam_model,omitempty"`
 	// Seeds is the number of repetitions per grid point (default 1);
 	// repetition s runs with seed BaseSeed + s (BaseSeed default 1).
@@ -103,6 +108,17 @@ func topologyByName(name string, param float64) (Topology, error) {
 	}
 }
 
+// JamModelNames lists the valid jam-model spec/CLI names in declaration
+// order — the single list validation errors and CLI usage strings print.
+func JamModelNames() []string {
+	return []string{"oblivious", "roundrobin", "reactive", "adaptive"}
+}
+
+// ByzStrategyNames lists the valid Byzantine-strategy spec/CLI names.
+func ByzStrategyNames() []string {
+	return []string{"corrupt", "equivocate", "silent"}
+}
+
 // jamModelByName resolves a spec's jam-model name; empty means oblivious.
 func jamModelByName(name string) (JamModel, error) {
 	switch strings.ToLower(name) {
@@ -110,21 +126,33 @@ func jamModelByName(name string) (JamModel, error) {
 		return JamOblivious, nil
 	case "roundrobin":
 		return JamRoundRobin, nil
+	case "reactive":
+		return JamReactive, nil
+	case "adaptive":
+		return JamAdaptive, nil
 	default:
-		return 0, specFieldError("jam_model", "unknown jam model %q (valid: oblivious, roundrobin)", name)
+		return 0, specFieldError("jam_model", "unknown jam model %q (valid: %s)", name, strings.Join(JamModelNames(), ", "))
 	}
 }
 
 // jamModelName is the inverse of jamModelByName for the known models.
 func jamModelName(m JamModel) (string, error) {
 	switch m {
-	case JamOblivious:
-		return "oblivious", nil
-	case JamRoundRobin:
-		return "roundrobin", nil
+	case JamOblivious, JamRoundRobin, JamReactive, JamAdaptive:
+		return m.String(), nil
 	default:
 		return "", fmt.Errorf("mcnet: jam model %d has no spec name", int(m))
 	}
+}
+
+// byzStrategyByName resolves a spec's Byzantine-strategy name; empty means
+// corrupt.
+func byzStrategyByName(name string) (ByzStrategy, error) {
+	st, err := ParseByzStrategy(strings.ToLower(name))
+	if err != nil {
+		return 0, specFieldError("byz_strategy", "unknown byzantine strategy %q (valid: %s)", name, strings.Join(ByzStrategyNames(), ", "))
+	}
+	return st, nil
 }
 
 // aggregatorByName resolves a spec's op name; empty means sum.
@@ -185,6 +213,14 @@ func (sp ScenarioSpec) Validate() error {
 			return specFieldError(fmt.Sprintf("churn[%d]", i), "%v must be in [0, 1]", cr)
 		}
 	}
+	for i, bf := range sp.Byz {
+		if bf < 0 || bf > 1 || bf != bf {
+			return specFieldError(fmt.Sprintf("byz[%d]", i), "%v must be in [0, 1]", bf)
+		}
+	}
+	if _, err := byzStrategyByName(sp.ByzStrategy); err != nil {
+		return err
+	}
 	if _, err := jamModelByName(sp.JamModel); err != nil {
 		return err
 	}
@@ -226,6 +262,10 @@ func (sp ScenarioSpec) Scenario() (Scenario, error) {
 	if err != nil {
 		return Scenario{}, err
 	}
+	byzStrategy, err := byzStrategyByName(sp.ByzStrategy)
+	if err != nil {
+		return Scenario{}, err
+	}
 	op, err := aggregatorByName(sp.Op)
 	if err != nil {
 		return Scenario{}, err
@@ -246,16 +286,18 @@ func (sp ScenarioSpec) Scenario() (Scenario, error) {
 		opts = append(opts, Exec(mode))
 	}
 	return Scenario{
-		Name:     sp.Name,
-		N:        sp.N,
-		Options:  opts,
-		Loss:     append([]float64(nil), sp.Loss...),
-		Jam:      append([]int(nil), sp.Jam...),
-		Churn:    append([]float64(nil), sp.Churn...),
-		JamModel: model,
-		Seeds:    sp.Seeds,
-		BaseSeed: sp.BaseSeed,
-		Op:       op,
+		Name:        sp.Name,
+		N:           sp.N,
+		Options:     opts,
+		Loss:        append([]float64(nil), sp.Loss...),
+		Jam:         append([]int(nil), sp.Jam...),
+		Churn:       append([]float64(nil), sp.Churn...),
+		Byz:         append([]float64(nil), sp.Byz...),
+		ByzStrategy: byzStrategy,
+		JamModel:    model,
+		Seeds:       sp.Seeds,
+		BaseSeed:    sp.BaseSeed,
+		Op:          op,
 	}, nil
 }
 
@@ -293,14 +335,16 @@ func ParseScenarioSpec(data []byte) (ScenarioSpec, error) {
 // runSpecWire is RunSpec's JSON shape: jam model and op by name, churn as
 // a nested object elided when empty.
 type runSpecWire struct {
-	Seed     uint64         `json:"seed"`
-	Loss     float64        `json:"loss,omitempty"`
-	Jam      int            `json:"jam,omitempty"`
-	JamModel string         `json:"jam_model,omitempty"`
-	Churn    *churnSpecWire `json:"churn,omitempty"`
-	Faulted  bool           `json:"faulted,omitempty"`
-	Values   []int64        `json:"values,omitempty"`
-	Op       string         `json:"op,omitempty"`
+	Seed        uint64         `json:"seed"`
+	Loss        float64        `json:"loss,omitempty"`
+	Jam         int            `json:"jam,omitempty"`
+	JamModel    string         `json:"jam_model,omitempty"`
+	Churn       *churnSpecWire `json:"churn,omitempty"`
+	Byz         float64        `json:"byz,omitempty"`
+	ByzStrategy string         `json:"byz_strategy,omitempty"`
+	Faulted     bool           `json:"faulted,omitempty"`
+	Values      []int64        `json:"values,omitempty"`
+	Op          string         `json:"op,omitempty"`
 }
 
 type churnSpecWire struct {
@@ -318,6 +362,7 @@ func (rs RunSpec) MarshalJSON() ([]byte, error) {
 		Seed:    rs.Seed,
 		Loss:    rs.Loss,
 		Jam:     rs.Jam,
+		Byz:     rs.Byz,
 		Faulted: rs.Faulted,
 		Values:  rs.Values,
 	}
@@ -327,6 +372,12 @@ func (rs RunSpec) MarshalJSON() ([]byte, error) {
 			return nil, err
 		}
 		w.JamModel = name
+	}
+	if rs.Byz != 0 || rs.ByzStrategy != ByzCorrupt {
+		if !validByzStrategy(rs.ByzStrategy) {
+			return nil, fmt.Errorf("mcnet: byzantine strategy %d has no spec name", int(rs.ByzStrategy))
+		}
+		w.ByzStrategy = rs.ByzStrategy.String()
 	}
 	if rs.Churn.Rate != 0 || len(rs.Churn.CrashAt) > 0 || rs.Churn.From != 0 || rs.Churn.Until != 0 {
 		w.Churn = &churnSpecWire{
@@ -366,6 +417,13 @@ func (rs *RunSpec) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
+	if w.Byz < 0 || w.Byz > 1 || w.Byz != w.Byz {
+		return specFieldError("byz", "%v must be in [0, 1]", w.Byz)
+	}
+	byzStrategy, err := byzStrategyByName(w.ByzStrategy)
+	if err != nil {
+		return err
+	}
 	var churn ChurnSpec
 	if w.Churn != nil {
 		if w.Churn.Rate < 0 || w.Churn.Rate > 1 || w.Churn.Rate != w.Churn.Rate {
@@ -385,14 +443,16 @@ func (rs *RunSpec) UnmarshalJSON(data []byte) error {
 		}
 	}
 	*rs = RunSpec{
-		Seed:     w.Seed,
-		Loss:     w.Loss,
-		Jam:      w.Jam,
-		JamModel: model,
-		Churn:    churn,
-		Faulted:  w.Faulted,
-		Values:   w.Values,
-		Op:       op,
+		Seed:        w.Seed,
+		Loss:        w.Loss,
+		Jam:         w.Jam,
+		JamModel:    model,
+		Churn:       churn,
+		Byz:         w.Byz,
+		ByzStrategy: byzStrategy,
+		Faulted:     w.Faulted,
+		Values:      w.Values,
+		Op:          op,
 	}
 	return nil
 }
